@@ -1,0 +1,78 @@
+"""Session fixtures shared by the benchmark harness.
+
+The full characterization campaign (14 benchmarks x 4 refresh periods x
+{50, 60} C plus the 70 C UE study) and the extended campaign used by the
+Fig. 13 case study are run once per session and shared by every
+benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.characterization.campaign import CampaignConfig, CharacterizationCampaign
+from repro.core.dataset import build_pue_dataset, build_wer_dataset
+from repro.profiling.profiler import profile_workload
+from repro.workloads.registry import campaign_workload_names
+
+
+def _print_table(title, rows):
+    """Print a small aligned table to the benchmark log."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("  " + "  ".join(str(cell) for cell in row))
+
+
+@pytest.fixture(scope="session")
+def print_table():
+    return _print_table
+
+
+@pytest.fixture(scope="session")
+def campaign_profiles():
+    return {name: profile_workload(name) for name in campaign_workload_names()}
+
+
+@pytest.fixture(scope="session")
+def full_campaign(campaign_profiles):
+    """The paper's main campaign (Sections V.A and V.B)."""
+    campaign = CharacterizationCampaign(config=CampaignConfig(), seed=7)
+    return campaign.run(include_ue_study=True)
+
+
+@pytest.fixture(scope="session")
+def full_wer_dataset(full_campaign, campaign_profiles):
+    return build_wer_dataset(full_campaign, campaign_profiles)
+
+
+@pytest.fixture(scope="session")
+def full_pue_dataset(full_campaign, campaign_profiles):
+    return build_pue_dataset(full_campaign, campaign_profiles)
+
+
+EXTENDED_WORKLOADS = tuple(campaign_workload_names()) + (
+    "lulesh(O2)", "lulesh(F)", "data-pattern-random",
+)
+
+
+@pytest.fixture(scope="session")
+def extended_campaign():
+    """Campaign including lulesh and the data-pattern micro, with 70 C WER points.
+
+    This is the training/measurement set of the Fig. 13 case study (the
+    workload-aware model vs. the conventional constant-rate model).
+    """
+    config = CampaignConfig(
+        workloads=EXTENDED_WORKLOADS,
+        trefp_values_s=units.TREFP_SWEEP_S,
+        temperatures_c=(50.0, 60.0, 70.0),
+        ue_repetitions=0,
+    )
+    campaign = CharacterizationCampaign(config=config, seed=7)
+    return campaign.run(include_ue_study=False)
+
+
+@pytest.fixture(scope="session")
+def extended_wer_dataset(extended_campaign):
+    return build_wer_dataset(extended_campaign)

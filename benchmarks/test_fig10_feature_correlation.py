@@ -1,0 +1,36 @@
+"""Fig. 10: Spearman correlation of the 249 program features with WER and PUE."""
+
+from repro.core.correlation import run_correlation_study
+
+
+def test_fig10_feature_correlation(benchmark, full_wer_dataset, full_pue_dataset, print_table):
+    study = benchmark.pedantic(
+        run_correlation_study, args=(full_wer_dataset, full_pue_dataset),
+        rounds=1, iterations=1,
+    )
+
+    summary = study.named_feature_summary()
+    print_table(
+        "Fig. 10: Spearman correlation (rs) with WER / PUE "
+        "[paper: access rate 0.57/0.43, wait cycles 0.40, HDP 0.39, Treuse 0.23]",
+        [(name, f"rs_WER={rs_wer:+.2f}", f"rs_PUE={rs_pue:+.2f}")
+         for name, (rs_wer, rs_pue) in summary.items()],
+    )
+    top = study.top_wer_features(10)
+    print_table("Top-10 |rs(WER)| features",
+                [(p.feature, f"{p.rs_wer:+.2f}") for p in top])
+
+    # The memory access rate is strongly and positively correlated with both
+    # metrics; the correlation with PUE is weaker than with WER (Section VI.A).
+    rs_wer, rs_pue = summary["memory_accesses_per_cycle"]
+    assert rs_wer > 0.4
+    assert 0.0 < rs_pue < rs_wer
+    # Wait cycles and Treuse are also positively correlated with WER.
+    assert summary["wait_cycles"][0] > 0.3
+    assert summary["treuse"][0] > 0.1
+    # The access-rate-related features dominate the top of the ranking.
+    top_names = {p.feature for p in top}
+    assert any("cmds_per_cycle" in name or "accesses_per_cycle" in name
+               for name in top_names)
+    # Every coefficient is a valid correlation.
+    assert all(-1.0 <= p.rs_wer <= 1.0 and -1.0 <= p.rs_pue <= 1.0 for p in study.points)

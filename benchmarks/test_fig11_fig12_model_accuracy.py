@@ -1,0 +1,111 @@
+"""Fig. 11 and Fig. 12: accuracy of the SVM / KNN / RDF error models.
+
+Leave-one-workload-out accuracy of the WER models (per DIMM/rank and per
+application) for the three input sets of Table III, plus the PUE model
+accuracy.  The KNN evaluation covers all eight ranks; the slower SVM and
+RDF evaluations use a three-rank subset (the per-rank models are
+independent, so the subset is representative).
+"""
+
+import pytest
+
+from repro.core.evaluation import AccuracyEvaluator, best_configuration
+
+FEATURE_SETS = ("set1", "set2", "set3")
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return AccuracyEvaluator()
+
+
+def _report_rows(study):
+    rows = []
+    for family, by_set in study.items():
+        for feature_set, report in by_set.items():
+            rows.append((family.upper(), feature_set,
+                         f"avg rank error {report.average_rank_error:.1f}%",
+                         f"max app error {report.max_workload_error:.0f}%"))
+    return rows
+
+
+def test_fig11_knn_wer_accuracy(benchmark, full_wer_dataset, evaluator, print_table):
+    """Fig. 11b/e: KNN accuracy over all 8 DIMM/ranks and 3 input sets."""
+    study = benchmark.pedantic(
+        evaluator.wer_study,
+        kwargs=dict(dataset=full_wer_dataset, families=("knn",), feature_sets=FEATURE_SETS),
+        rounds=1, iterations=1,
+    )
+    print_table("Fig. 11 (KNN) [paper: 10.1% / 10.2% / 12.3%]", _report_rows(study))
+
+    by_set = study["knn"]
+    # Input sets 1 and 2 (the strongly correlated features) beat input set 3
+    # (all 249 features) — the overfitting effect of Section VI.B.
+    assert by_set["set1"].average_rank_error < by_set["set3"].average_rank_error
+    assert by_set["set2"].average_rank_error < by_set["set3"].average_rank_error
+    # Every rank and every application is covered.
+    assert len(by_set["set1"].error_by_rank) == 8
+    assert len(by_set["set1"].error_by_workload) == 14
+
+
+def test_fig11_svm_rdf_wer_accuracy(benchmark, full_wer_dataset, evaluator, print_table):
+    """Fig. 11a/c/d/f: SVM and RDF accuracy (3-rank subset for tractability)."""
+    ranks = full_wer_dataset.ranks()[:3]
+
+    def run():
+        return evaluator.wer_study(
+            full_wer_dataset, families=("svm", "rdf"),
+            feature_sets=FEATURE_SETS, ranks=ranks,
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Fig. 11 (SVM, RDF) [paper SVM: 16.3/17.0/29.3%, RDF: 21.4/~/12.9%]",
+                _report_rows(study))
+
+    svm = study["svm"]
+    # SVM degrades sharply when trained on all 249 features (paper: 29.3 %).
+    assert svm["set3"].average_rank_error > svm["set1"].average_rank_error
+    assert svm["set3"].average_rank_error > svm["set2"].average_rank_error
+
+
+def test_fig11_knn_is_the_most_accurate_model(benchmark, full_wer_dataset, evaluator,
+                                              print_table):
+    """Section VI.B headline: KNN with input set 1 gives the best WER accuracy."""
+    ranks = full_wer_dataset.ranks()[:3]
+
+    def run():
+        return evaluator.wer_study(
+            full_wer_dataset, families=("knn", "svm", "rdf"),
+            feature_sets=("set1",), ranks=ranks,
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Model comparison on input set 1", _report_rows(study))
+
+    best = best_configuration(study)
+    assert best.family == "knn"
+
+
+def test_fig12_pue_model_accuracy(benchmark, full_pue_dataset, evaluator, print_table):
+    """Fig. 12: PUE estimation error per model family and input set."""
+    study = benchmark.pedantic(
+        evaluator.pue_study,
+        kwargs=dict(dataset=full_pue_dataset, families=("svm", "knn", "rdf"),
+                    feature_sets=FEATURE_SETS),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (family.upper(), feature_set, f"avg error {report.average_error:.1f}%")
+        for family, by_set in study.items()
+        for feature_set, report in by_set.items()
+    ]
+    print_table("Fig. 12: PUE estimation error "
+                "[paper: SVM best with set1 (12.3%), KNN/RDF best with set2 (4.1%/5.5%)]",
+                rows)
+
+    # Input-set preferences per family match the paper: SVM prefers set 1,
+    # KNN and RDF prefer set 2; set 3 is never the best choice.
+    svm, knn, rdf = study["svm"], study["knn"], study["rdf"]
+    assert min(svm, key=lambda s: svm[s].average_error) == "set1"
+    assert min(knn, key=lambda s: knn[s].average_error) == "set2"
+    assert min(rdf, key=lambda s: rdf[s].average_error) == "set2"

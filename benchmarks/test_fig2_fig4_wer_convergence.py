@@ -1,0 +1,45 @@
+"""Fig. 2 and Fig. 4: WER over the 2-hour characterization runs."""
+
+from repro.analysis.figures import convergence_check, fig2_wer_over_time, fig4_wer_over_time
+from repro.workloads.registry import campaign_workload_names
+
+
+def test_fig2_wer_convergence(benchmark, print_table):
+    """Fig. 2: memcached vs backprop vs the random micro at 2.283 s / 70 C."""
+    series = benchmark.pedantic(
+        fig2_wer_over_time,
+        kwargs=dict(workloads=("memcached", "backprop(par)", "data-pattern-random"),
+                    trefp_s=2.283, temperature_c=70.0),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for workload, points in series.items():
+        final = points[-1][1]
+        rows.append((workload, f"final WER {final:.3e}",
+                     f"last-10-min change {convergence_check(points) * 100:.1f}%"))
+    print_table("Fig. 2: WER vs time (2.283 s TREFP, 70 C, 2-hour run)", rows)
+
+    # memcached is the least error-prone of the three (Section II.C discussion).
+    finals = {workload: points[-1][1] for workload, points in series.items()}
+    assert finals["memcached"] < finals["backprop(par)"]
+    assert finals["memcached"] < finals["data-pattern-random"]
+    # Every curve has converged: < 3 % change in the last 10 minutes (Sec. V.A).
+    assert all(convergence_check(points) < 0.03 for points in series.values())
+
+
+def test_fig4_wer_timeseries_all_benchmarks(benchmark, print_table):
+    """Fig. 4: WER vs time for every benchmark at 2.283 s / 50 C."""
+    workloads = campaign_workload_names()
+    series = benchmark.pedantic(
+        fig4_wer_over_time,
+        kwargs=dict(workloads=workloads, trefp_s=2.283, temperature_c=50.0),
+        rounds=1, iterations=1,
+    )
+    rows = [(w, f"{points[-1][1]:.3e}") for w, points in
+            sorted(series.items(), key=lambda kv: -kv[1][-1][1])]
+    print_table("Fig. 4: final WER per benchmark (2.283 s, 50 C)", rows)
+
+    assert set(series) == set(workloads)
+    assert all(convergence_check(points) < 0.03 for points in series.values())
+    finals = {w: points[-1][1] for w, points in series.items()}
+    assert min(finals, key=finals.get) == "memcached"

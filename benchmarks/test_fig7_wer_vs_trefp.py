@@ -1,0 +1,60 @@
+"""Fig. 7: WER across benchmarks, refresh periods and temperatures."""
+
+from repro import units
+from repro.analysis.figures import exponential_growth_factor, fig7_wer_bars, fig7f_mean_wer_curve
+
+
+def test_fig7_wer_bars_per_temperature(benchmark, full_campaign, print_table):
+    """Fig. 7a-d: WER per benchmark for every TREFP at 50 C and 60 C."""
+    def build():
+        return {
+            temperature: fig7_wer_bars(full_campaign, units.TREFP_SWEEP_S, temperature)
+            for temperature in (50.0, 60.0)
+        }
+
+    bars = benchmark.pedantic(build, rounds=1, iterations=1)
+    for temperature, by_trefp in bars.items():
+        rows = []
+        for trefp, per_workload in by_trefp.items():
+            top = max(per_workload, key=per_workload.get)
+            bottom = min(per_workload, key=per_workload.get)
+            rows.append((f"TREFP={trefp:.3f}s",
+                         f"max {top}={per_workload[top]:.2e}",
+                         f"min {bottom}={per_workload[bottom]:.2e}",
+                         f"spread {per_workload[top] / per_workload[bottom]:.1f}x"))
+        print_table(f"Fig. 7: WER per benchmark at {temperature:.0f} C", rows)
+
+    # Headline claim: WER varies across workloads by several-fold (8x in the
+    # paper, measured at the most aggressive point of the sweep).
+    spreads = [
+        max(per.values()) / min(per.values())
+        for by_trefp in bars.values()
+        for per in by_trefp.values()
+    ]
+    assert max(spreads) > 5.0
+    # memcached incurs the lowest WER at the operating point of Fig. 7b.
+    per_workload = bars[50.0][2.283]
+    assert min(per_workload, key=per_workload.get) == "memcached"
+    # backprop (serial) exceeds backprop(par) by roughly 30 % (Section V.A).
+    assert per_workload["backprop"] > per_workload["backprop(par)"]
+
+
+def test_fig7f_exponential_growth(benchmark, full_campaign, print_table):
+    """Fig. 7f: benchmark-averaged WER grows exponentially with TREFP."""
+    curves = benchmark.pedantic(
+        fig7f_mean_wer_curve, args=(full_campaign,), rounds=1, iterations=1
+    )
+    rows = []
+    for temperature, curve in curves.items():
+        growth = exponential_growth_factor(curve)
+        rows.append((f"{temperature:.0f} C",
+                     " ".join(f"{trefp:.3f}s:{wer:.2e}" for trefp, wer in curve),
+                     f"exp growth {growth:.2f}/s"))
+    print_table("Fig. 7f: mean WER vs TREFP", rows)
+
+    for curve in curves.values():
+        wers = [wer for _trefp, wer in curve]
+        assert all(b > a for a, b in zip(wers, wers[1:]))
+        assert exponential_growth_factor(curve) > 1.0
+    # 60 C is roughly an order of magnitude worse than 50 C at every TREFP.
+    assert curves[60.0][-1][1] > 5 * curves[50.0][-1][1]

@@ -1,0 +1,69 @@
+"""Fig. 8 (DIMM/rank variation) and Fig. 9 (uncorrectable errors at 70 C)."""
+
+from repro import units
+from repro.analysis.figures import fig8_wer_per_rank, fig9a_pue_bars, fig9b_ue_rank_distribution
+
+
+def test_fig8_dimm_rank_variation(benchmark, full_campaign, print_table):
+    """Fig. 8: per-DIMM/rank WER at 2.283 s / 50 C (up to ~188x spread)."""
+    table = benchmark.pedantic(
+        fig8_wer_per_rank, args=(full_campaign,), rounds=1, iterations=1
+    )
+    spreads = {}
+    for workload, ranks in table.items():
+        positive = {label: wer for label, wer in ranks.items() if wer > 0}
+        top = max(positive, key=positive.get)
+        bottom = min(positive, key=positive.get)
+        spreads[workload] = positive[top] / positive[bottom]
+    rows = [(w, f"spread {s:.0f}x") for w, s in sorted(spreads.items(), key=lambda kv: -kv[1])]
+    print_table("Fig. 8: per-workload DIMM/rank WER spread [paper: up to 188x]", rows)
+
+    assert max(spreads.values()) > 100.0
+    # The weakest rank of the platform is DIMM2/rank0 and the strongest is
+    # DIMM3/rank1 (as in the bc example the paper highlights).
+    bc_ranks = table["bc"]
+    assert max(bc_ranks, key=bc_ranks.get) == "DIMM2/rank0"
+    assert min(bc_ranks, key=bc_ranks.get) == "DIMM3/rank1"
+
+
+def test_fig9a_pue_per_benchmark(benchmark, full_campaign, print_table):
+    """Fig. 9a: PUE per benchmark for TREFP in {1.45, 1.727, 2.283} s at 70 C."""
+    bars = benchmark.pedantic(
+        fig9a_pue_bars, args=(full_campaign,), rounds=1, iterations=1
+    )
+    rows = []
+    for trefp in units.TREFP_UE_SWEEP_S:
+        per_workload = bars[trefp]
+        mean = sum(per_workload.values()) / len(per_workload)
+        zeroish = sum(1 for value in per_workload.values() if value < 0.1)
+        rows.append((f"TREFP={trefp:.3f}s", f"mean PUE {mean:.2f}",
+                     f"benchmarks with PUE<0.1: {zeroish}"))
+    print_table("Fig. 9a: PUE at 70 C [paper: mean <0.4 at 1.45 s, 2.15x more at "
+                "1.727 s, 1.0 for all at 2.283 s]", rows)
+
+    means = {trefp: sum(bars[trefp].values()) / len(bars[trefp])
+             for trefp in units.TREFP_UE_SWEEP_S}
+    # PUE grows with TREFP and saturates at the maximum refresh period.
+    assert means[1.450] < means[1.727] < means[2.283]
+    assert means[1.727] / means[1.450] > 1.4
+    assert all(value > 0.9 for value in bars[2.283].values())
+    # PUE varies strongly across benchmarks at 1.45 s.
+    assert min(bars[1.450].values()) < 0.2
+    assert max(bars[1.450].values()) > 0.6
+
+
+def test_fig9b_ue_rank_distribution(benchmark, full_campaign, print_table):
+    """Fig. 9b: which DIMM/rank the UEs land on."""
+    distribution = benchmark.pedantic(
+        fig9b_ue_rank_distribution, args=(full_campaign,), rounds=1, iterations=1
+    )
+    rows = sorted(distribution.items(), key=lambda kv: -kv[1])
+    print_table("Fig. 9b: probability a UE lands on each DIMM/rank "
+                "[paper: DIMM2/rank0 0.67, DIMM0/rank1 0.24, DIMM3/rank1 0]",
+                [(label, f"{p:.2f}") for label, p in rows])
+
+    assert abs(sum(distribution.values()) - 1.0) < 1e-9
+    # Two ranks dominate and one rank never produces a UE.
+    assert rows[0][0] == "DIMM2/rank0"
+    assert rows[0][1] > 0.4
+    assert "DIMM3/rank1" not in distribution

@@ -1,0 +1,24 @@
+"""Section VI.C claim: the trained model predicts DRAM errors within 300 ms."""
+
+from repro.core.predictor import WorkloadAwarePredictor
+from repro.dram.operating import OperatingPoint
+from repro.profiling.profiler import profile_workload
+
+
+def test_prediction_latency_under_300ms(benchmark, full_campaign, campaign_profiles,
+                                        print_table):
+    predictor = WorkloadAwarePredictor().fit(full_campaign, campaign_profiles)
+    profile = profile_workload("pagerank")
+    op = OperatingPoint.relaxed(1.727, 60.0)
+
+    result = benchmark(lambda: predictor.predict(profile, op))
+
+    print_table("Prediction latency (paper: < 300 ms, < 1 s including profiling lookup)",
+                [("pagerank @ 1.727 s / 60 C",
+                  f"memory WER {result.memory_wer:.3e}",
+                  f"PUE {result.pue:.2f}",
+                  f"latency {result.latency_s * 1000:.1f} ms")])
+
+    assert result.latency_s < 0.3
+    assert result.memory_wer > 0
+    assert 0.0 <= result.pue <= 1.0

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, which PEP-660 editable
+installs require; keeping a ``setup.py`` allows
+``pip install -e . --no-build-isolation`` (legacy develop mode) and
+``python setup.py develop`` to work without network access.
+"""
+
+from setuptools import setup
+
+setup()

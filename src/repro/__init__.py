@@ -1,0 +1,81 @@
+"""Workload-Aware DRAM Error Prediction using Machine Learning — reproduction.
+
+This package reproduces Mukhanov et al., IISWC 2019: a characterization
+of DRAM error behaviour under relaxed refresh period / lowered voltage /
+elevated temperature on an ARMv8 server, and a machine-learning model
+that predicts the word error rate (WER) and the probability of an
+uncorrectable error (PUE) from program-inherent features.
+
+Quickstart::
+
+    from repro import (
+        run_default_campaign, WorkloadAwarePredictor, OperatingPoint,
+    )
+
+    campaign = run_default_campaign()
+    predictor = WorkloadAwarePredictor().fit(campaign)
+    result = predictor.predict("memcached", OperatingPoint.relaxed(2.283, 50.0))
+    print(result.memory_wer, result.pue)
+"""
+
+from repro.characterization import (
+    CampaignConfig,
+    CampaignResult,
+    CharacterizationCampaign,
+    CharacterizationExperiment,
+    XGene2Server,
+    run_default_campaign,
+)
+from repro.core import (
+    AccuracyEvaluator,
+    ConventionalErrorModel,
+    DramErrorModel,
+    ModelConfig,
+    WorkloadAwarePredictor,
+    build_pue_dataset,
+    build_wer_dataset,
+    get_feature_set,
+    run_correlation_study,
+)
+from repro.dram import (
+    CellArraySimulator,
+    OperatingPoint,
+    SecdedCode,
+    StatisticalErrorModel,
+    VariationProfile,
+    WorkloadBehavior,
+)
+from repro.profiling import WorkloadProfiler, profile_workload
+from repro.workloads import available_workloads, campaign_workload_names, create_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CharacterizationCampaign",
+    "CharacterizationExperiment",
+    "XGene2Server",
+    "run_default_campaign",
+    "AccuracyEvaluator",
+    "ConventionalErrorModel",
+    "DramErrorModel",
+    "ModelConfig",
+    "WorkloadAwarePredictor",
+    "build_pue_dataset",
+    "build_wer_dataset",
+    "get_feature_set",
+    "run_correlation_study",
+    "CellArraySimulator",
+    "OperatingPoint",
+    "SecdedCode",
+    "StatisticalErrorModel",
+    "VariationProfile",
+    "WorkloadBehavior",
+    "WorkloadProfiler",
+    "profile_workload",
+    "available_workloads",
+    "campaign_workload_names",
+    "create_workload",
+    "__version__",
+]

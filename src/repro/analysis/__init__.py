@@ -1,0 +1,29 @@
+"""Reporting helpers that regenerate the paper's tables and figures."""
+
+from repro.analysis.figures import (
+    convergence_check,
+    exponential_growth_factor,
+    fig2_wer_over_time,
+    fig4_wer_over_time,
+    fig7_wer_bars,
+    fig7f_mean_wer_curve,
+    fig8_wer_per_rank,
+    fig9a_pue_bars,
+    fig9b_ue_rank_distribution,
+)
+from repro.analysis.tables import table1_error_classes, table2_reuse_times, table3_input_sets
+
+__all__ = [
+    "convergence_check",
+    "exponential_growth_factor",
+    "fig2_wer_over_time",
+    "fig4_wer_over_time",
+    "fig7_wer_bars",
+    "fig7f_mean_wer_curve",
+    "fig8_wer_per_rank",
+    "fig9a_pue_bars",
+    "fig9b_ue_rank_distribution",
+    "table1_error_classes",
+    "table2_reuse_times",
+    "table3_input_sets",
+]

@@ -1,0 +1,45 @@
+"""Table regeneration helpers (Tables I-III of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.features import feature_set_table
+from repro.dram.ecc import ErrorClass, classify_bit_errors
+from repro.errors import DataError
+from repro.profiling.profiler import profile_workload
+
+
+def table1_error_classes() -> List[Dict[str, str]]:
+    """Table I: ECC SECDED error classification by corrupted-bit count."""
+    rows = [
+        {"num_corrupted_bits": "1", "type": "corrected",
+         "abbreviation": classify_bit_errors(1).value},
+        {"num_corrupted_bits": "> 1", "type": "uncorrected/detected",
+         "abbreviation": classify_bit_errors(2).value},
+        {"num_corrupted_bits": "> 2", "type": "uncorrected/undetected",
+         "abbreviation": classify_bit_errors(3).value},
+    ]
+    expected = [ErrorClass.CORRECTED.value, ErrorClass.UNCORRECTABLE.value,
+                ErrorClass.SILENT.value]
+    if [row["abbreviation"] for row in rows] != expected:
+        raise DataError("ECC classification does not match Table I")
+    return rows
+
+
+def table2_reuse_times(
+    workloads: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Table II: the average DRAM reuse time (seconds) per benchmark."""
+    if workloads is None:
+        workloads = (
+            "nw", "srad", "backprop", "kmeans", "fmm",
+            "nw(par)", "srad(par)", "backprop(par)", "kmeans(par)", "fmm(par)",
+            "memcached", "pagerank", "bfs", "bc",
+        )
+    return {name: profile_workload(name).feature("treuse") for name in workloads}
+
+
+def table3_input_sets() -> List[Dict[str, str]]:
+    """Table III: the three input feature sets used for model training."""
+    return feature_set_table()

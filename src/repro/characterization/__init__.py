@@ -1,0 +1,39 @@
+"""Characterization framework: server model, experiments and campaigns."""
+
+from repro.characterization.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CharacterizationCampaign,
+    run_default_campaign,
+)
+from repro.characterization.experiment import CharacterizationExperiment, ExperimentResult
+from repro.characterization.metrics import (
+    PueSummary,
+    UeObservation,
+    WerMeasurement,
+    probability_of_uncorrectable,
+    rank_ue_distribution,
+    wer_from_error_log,
+    word_error_rate,
+)
+from repro.characterization.server import SocDescription, XGene2Server
+from repro.characterization.slimpro import Slimpro
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CharacterizationCampaign",
+    "run_default_campaign",
+    "CharacterizationExperiment",
+    "ExperimentResult",
+    "PueSummary",
+    "UeObservation",
+    "WerMeasurement",
+    "probability_of_uncorrectable",
+    "rank_ue_distribution",
+    "wer_from_error_log",
+    "word_error_rate",
+    "SocDescription",
+    "XGene2Server",
+    "Slimpro",
+]

@@ -1,0 +1,207 @@
+"""Characterization campaigns: the parameter sweeps of Section V.
+
+A campaign runs every benchmark under a grid of refresh periods and
+temperatures (always with the lowered VDD), collects per-rank WER
+measurements and — for the 70 C points — repeats each run several times
+to estimate PUE.  The result object offers the aggregations every figure
+of the evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.characterization.experiment import CharacterizationExperiment, ExperimentResult
+from repro.characterization.metrics import PueSummary, WerMeasurement, rank_ue_distribution
+from repro.characterization.server import XGene2Server
+from repro.dram.geometry import RankLocation
+from repro.dram.operating import OperatingPoint
+from repro.errors import CharacterizationError
+from repro.profiling.profiler import profile_workload
+from repro.workloads.registry import campaign_workload_names
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """What to sweep and how often to repeat."""
+
+    workloads: Tuple[str, ...] = ()
+    trefp_values_s: Tuple[float, ...] = units.TREFP_SWEEP_S
+    temperatures_c: Tuple[float, ...] = (50.0, 60.0)
+    vdd_v: float = units.MIN_VDD_V
+    repetitions: int = 1
+    ue_trefp_values_s: Tuple[float, ...] = units.TREFP_UE_SWEEP_S
+    ue_temperature_c: float = 70.0
+    ue_repetitions: int = 10
+
+    def resolved_workloads(self) -> Tuple[str, ...]:
+        return self.workloads or tuple(campaign_workload_names())
+
+
+@dataclass
+class CampaignResult:
+    """All measurements of one campaign, with the aggregations the figures use."""
+
+    config: CampaignConfig
+    wer_measurements: List[WerMeasurement] = field(default_factory=list)
+    pue_summaries: List[PueSummary] = field(default_factory=list)
+
+    # -- WER aggregations ------------------------------------------------------
+    def wer_by_workload(self, trefp_s: float, temperature_c: float) -> Dict[str, float]:
+        """Memory-wide WER per workload at one operating point (Fig. 7a-e bars)."""
+        values: Dict[str, List[float]] = {}
+        for measurement in self.wer_measurements:
+            if _close(measurement.trefp_s, trefp_s) and _close(
+                measurement.temperature_c, temperature_c
+            ):
+                values.setdefault(measurement.workload, []).append(measurement.wer)
+        if not values:
+            raise CharacterizationError(
+                f"no WER measurements at TREFP={trefp_s}s, T={temperature_c}C"
+            )
+        return {workload: float(np.mean(v)) for workload, v in values.items()}
+
+    def wer_by_rank(self, trefp_s: float, temperature_c: float) -> Dict[str, Dict[RankLocation, float]]:
+        """Per-workload, per-rank WER (Fig. 8)."""
+        table: Dict[str, Dict[RankLocation, List[float]]] = {}
+        for measurement in self.wer_measurements:
+            if _close(measurement.trefp_s, trefp_s) and _close(
+                measurement.temperature_c, temperature_c
+            ):
+                table.setdefault(measurement.workload, {}).setdefault(
+                    measurement.rank, []
+                ).append(measurement.wer)
+        return {
+            workload: {rank: float(np.mean(v)) for rank, v in ranks.items()}
+            for workload, ranks in table.items()
+        }
+
+    def mean_wer(self, trefp_s: float, temperature_c: float) -> float:
+        """WER averaged over all benchmarks at one operating point (Fig. 7f)."""
+        per_workload = self.wer_by_workload(trefp_s, temperature_c)
+        return float(np.mean(list(per_workload.values())))
+
+    def workload_spread(self, trefp_s: float, temperature_c: float) -> float:
+        """Max/min WER ratio across workloads (the "8x" claim)."""
+        per_workload = self.wer_by_workload(trefp_s, temperature_c)
+        values = list(per_workload.values())
+        return max(values) / min(values)
+
+    def rank_spread(self, trefp_s: float, temperature_c: float) -> float:
+        """Largest max/min WER ratio across DIMM/ranks for a single workload.
+
+        This is the quantity behind the paper's "up to 188x" claim: the bc
+        benchmark's WER differs by that factor between its strongest and
+        weakest rank (Fig. 8).
+        """
+        per_rank = self.wer_by_rank(trefp_s, temperature_c)
+        spreads = []
+        for ranks in per_rank.values():
+            positive = [v for v in ranks.values() if v > 0]
+            if len(positive) >= 2:
+                spreads.append(max(positive) / min(positive))
+        if not spreads:
+            raise CharacterizationError("no positive per-rank WER measurements")
+        return max(spreads)
+
+    # -- PUE aggregations ------------------------------------------------------
+    def pue_by_workload(self, trefp_s: float) -> Dict[str, float]:
+        """PUE per workload at one refresh period of the 70 C study (Fig. 9a)."""
+        result = {}
+        for summary in self.pue_summaries:
+            if _close(summary.trefp_s, trefp_s):
+                result[summary.workload] = summary.pue
+        if not result:
+            raise CharacterizationError(f"no UE observations at TREFP={trefp_s}s")
+        return result
+
+    def mean_pue(self, trefp_s: float) -> float:
+        per_workload = self.pue_by_workload(trefp_s)
+        return float(np.mean(list(per_workload.values())))
+
+    def ue_rank_distribution(self) -> Dict[RankLocation, float]:
+        """Fig. 9b: probability a UE lands on each DIMM/rank."""
+        return rank_ue_distribution(self.pue_summaries)
+
+
+def _close(a: float, b: float, tolerance: float = 1e-9) -> bool:
+    return abs(a - b) <= tolerance
+
+
+class CharacterizationCampaign:
+    """Drives the full sweep of Section V on a server model."""
+
+    def __init__(
+        self,
+        server: Optional[XGene2Server] = None,
+        config: Optional[CampaignConfig] = None,
+        seed: int = 7,
+    ) -> None:
+        self.server = server or XGene2Server()
+        self.config = config or CampaignConfig()
+        self.experiment = CharacterizationExperiment(self.server, seed=seed)
+
+    # ------------------------------------------------------------------
+    def run_wer_sweep(self, result: CampaignResult) -> None:
+        """The CE study: workloads x TREFP x {50, 60} C (Fig. 7 / Fig. 8)."""
+        for workload in self.config.resolved_workloads():
+            profile = profile_workload(workload)
+            for temperature in self.config.temperatures_c:
+                for trefp in self.config.trefp_values_s:
+                    op = OperatingPoint(
+                        trefp_s=trefp, vdd_v=self.config.vdd_v, temperature_c=temperature
+                    )
+                    for repetition in range(self.config.repetitions):
+                        run = self.experiment.run(
+                            workload, op, profile=profile, repetition=repetition
+                        )
+                        result.wer_measurements.extend(run.wer_measurements())
+
+    def run_ue_sweep(self, result: CampaignResult) -> None:
+        """The UE study: workloads x TREFP x 70 C, repeated 10 times (Fig. 9)."""
+        for workload in self.config.resolved_workloads():
+            profile = profile_workload(workload)
+            for trefp in self.config.ue_trefp_values_s:
+                op = OperatingPoint(
+                    trefp_s=trefp,
+                    vdd_v=self.config.vdd_v,
+                    temperature_c=self.config.ue_temperature_c,
+                )
+                summary = PueSummary(
+                    workload=workload, trefp_s=trefp,
+                    temperature_c=self.config.ue_temperature_c,
+                )
+                for repetition in range(self.config.ue_repetitions):
+                    run = self.experiment.run(
+                        workload, op, profile=profile, repetition=repetition
+                    )
+                    summary.add(run.ue_observation())
+                    # WER data from the 70 C runs also feeds the dataset.
+                    if repetition == 0:
+                        result.wer_measurements.extend(run.wer_measurements())
+                result.pue_summaries.append(summary)
+
+    def run(self, include_ue_study: bool = True) -> CampaignResult:
+        """Run the full campaign and return the collected measurements."""
+        result = CampaignResult(config=self.config)
+        self.run_wer_sweep(result)
+        if include_ue_study:
+            self.run_ue_sweep(result)
+        if not result.wer_measurements:
+            raise CharacterizationError("campaign produced no measurements")
+        return result
+
+
+def run_default_campaign(
+    workloads: Optional[Sequence[str]] = None,
+    include_ue_study: bool = True,
+    seed: int = 7,
+) -> CampaignResult:
+    """Convenience helper: run the paper's campaign with default settings."""
+    config = CampaignConfig(workloads=tuple(workloads) if workloads else ())
+    campaign = CharacterizationCampaign(config=config, seed=seed)
+    return campaign.run(include_ue_study=include_ue_study)

@@ -1,0 +1,143 @@
+"""A single characterization experiment: one workload, one operating point.
+
+This corresponds to one 2-hour run of the paper's campaign: the DIMMs
+are held at the target temperature, TREFP/VDD are configured through
+SLIMpro, the workload runs for two hours, and the ECC error log is
+reduced to the per-rank WER plus (at 70 C) a possible UE crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import units
+from repro.characterization.metrics import UeObservation, WerMeasurement
+from repro.dram.geometry import RankLocation
+from repro.dram.operating import OperatingPoint
+from repro.dram.statistical import WorkloadBehavior
+from repro.errors import CharacterizationError
+from repro.characterization.server import XGene2Server
+from repro.profiling.profile import WorkloadProfile
+from repro.profiling.profiler import profile_workload
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one 2-hour characterization run produces."""
+
+    workload: str
+    operating_point: OperatingPoint
+    duration_s: float
+    rank_wer: Dict[RankLocation, float] = field(default_factory=dict)
+    wer_time_series: Dict[float, float] = field(default_factory=dict)
+    ue_rank: Optional[RankLocation] = None
+
+    @property
+    def memory_wer(self) -> float:
+        """Memory-wide WER (Eq. 2) — the average across DIMM/ranks."""
+        if not self.rank_wer:
+            raise CharacterizationError("experiment produced no per-rank WER data")
+        return float(np.mean(list(self.rank_wer.values())))
+
+    @property
+    def crashed(self) -> bool:
+        """True when the run hit an uncorrectable error (which crashes the node)."""
+        return self.ue_rank is not None
+
+    def wer_measurements(self) -> List[WerMeasurement]:
+        """Per-rank measurements in the flat record format the dataset uses."""
+        op = self.operating_point
+        return [
+            WerMeasurement(
+                workload=self.workload,
+                trefp_s=op.trefp_s,
+                vdd_v=op.vdd_v,
+                temperature_c=op.temperature_c,
+                rank=rank,
+                wer=wer,
+            )
+            for rank, wer in sorted(self.rank_wer.items(), key=lambda kv: kv[0].label)
+        ]
+
+    def ue_observation(self) -> UeObservation:
+        op = self.operating_point
+        return UeObservation(
+            workload=self.workload,
+            trefp_s=op.trefp_s,
+            temperature_c=op.temperature_c,
+            crashed=self.crashed,
+            rank=self.ue_rank,
+        )
+
+
+class CharacterizationExperiment:
+    """Runs single characterization experiments on a server model."""
+
+    def __init__(self, server: Optional[XGene2Server] = None, seed: int = 7) -> None:
+        self.server = server or XGene2Server()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _behavior(self, workload: str, profile: Optional[WorkloadProfile]) -> WorkloadBehavior:
+        active_profile = profile or profile_workload(workload)
+        if active_profile.workload != workload:
+            raise CharacterizationError(
+                f"profile is for {active_profile.workload!r}, expected {workload!r}"
+            )
+        return active_profile.behavior()
+
+    def _run_rng(self, workload: str, op: OperatingPoint, repetition: int) -> np.random.Generator:
+        import zlib
+
+        key = zlib.crc32(
+            f"{workload}|{op.trefp_s:.6f}|{op.temperature_c:.3f}|{repetition}|{self.seed}"
+            .encode("utf-8")
+        )
+        return np.random.default_rng(key)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: str,
+        op: OperatingPoint,
+        duration_s: float = units.CHARACTERIZATION_DURATION_S,
+        profile: Optional[WorkloadProfile] = None,
+        repetition: int = 0,
+        collect_time_series: bool = False,
+    ) -> ExperimentResult:
+        """Execute one 2-hour characterization run and collect its metrics."""
+        if duration_s <= 0:
+            raise CharacterizationError("duration_s must be positive")
+        behavior = self._behavior(workload, profile)
+        configured = self.server.configure(op)
+        model = self.server.error_model
+        rng = self._run_rng(workload, configured, repetition)
+
+        rank_wer = {
+            rank: model.sample_rank_wer(configured, behavior, rank, workload, rng=rng)
+            for rank in self.server.geometry.iter_ranks()
+        }
+        # WER keeps accumulating until the run ends; a shorter run only sees
+        # the fraction of error-prone locations discovered so far.
+        maturity = 1.0 - float(np.exp(-duration_s / model.calibration.convergence_tau_s))
+        rank_wer = {rank: wer * maturity for rank, wer in rank_wer.items()}
+
+        ue_rank = model.sample_ue_event(configured, behavior, workload, rng=rng)
+
+        time_series: Dict[float, float] = {}
+        if collect_time_series:
+            time_series = model.wer_time_series(
+                configured, behavior, duration_s=duration_s, workload=workload
+            )
+
+        return ExperimentResult(
+            workload=workload,
+            operating_point=configured,
+            duration_s=duration_s,
+            rank_wer=rank_wer,
+            wer_time_series=time_series,
+            ue_rank=ue_rank,
+        )

@@ -1,0 +1,124 @@
+"""DRAM error metrics: WER (Eq. 2) and PUE (Eq. 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro import units
+from repro.dram.ecc import ErrorClass
+from repro.dram.geometry import RankLocation
+from repro.dram.records import ErrorLog
+from repro.errors import DataError
+
+
+def word_error_rate(unique_ce_words: int, footprint_words: int) -> float:
+    """WER = N_CE / MEMSIZE (Eq. 2): unique erroneous words per allocated word."""
+    if footprint_words <= 0:
+        raise DataError("footprint_words must be positive")
+    if unique_ce_words < 0:
+        raise DataError("unique_ce_words must be non-negative")
+    if unique_ce_words > footprint_words:
+        raise DataError("cannot have more erroneous words than allocated words")
+    return unique_ce_words / footprint_words
+
+
+def probability_of_uncorrectable(ue_runs: int, total_runs: int) -> float:
+    """PUE = N_UE / N_EXP (Eq. 3): fraction of runs that triggered a UE."""
+    if total_runs <= 0:
+        raise DataError("total_runs must be positive")
+    if not 0 <= ue_runs <= total_runs:
+        raise DataError("ue_runs must lie in [0, total_runs]")
+    return ue_runs / total_runs
+
+
+def wer_from_error_log(
+    log: ErrorLog, footprint_bytes: int, rank: Optional[RankLocation] = None
+) -> float:
+    """Compute WER from an ECC error log (whole memory or one rank).
+
+    When ``rank`` is given, the footprint attributed to that rank is the
+    interleaved share (footprint / number of ranks observed in the log's
+    geometry is unknown here, so the caller passes the per-rank footprint
+    directly via ``footprint_bytes``).
+    """
+    footprint_words = units.words_in(footprint_bytes)
+    if rank is None:
+        unique = len(log.unique_word_locations(ErrorClass.CORRECTED))
+    else:
+        unique = log.unique_words_by_rank(ErrorClass.CORRECTED).get(rank, 0)
+    return word_error_rate(unique, footprint_words)
+
+
+@dataclass
+class WerMeasurement:
+    """A per-rank WER measurement of one characterization run."""
+
+    workload: str
+    trefp_s: float
+    vdd_v: float
+    temperature_c: float
+    rank: RankLocation
+    wer: float
+
+    def __post_init__(self) -> None:
+        if self.wer < 0:
+            raise DataError("WER cannot be negative")
+
+
+@dataclass
+class UeObservation:
+    """Outcome of one run of the UE study: did the run crash, and where."""
+
+    workload: str
+    trefp_s: float
+    temperature_c: float
+    crashed: bool
+    rank: Optional[RankLocation] = None
+
+    def __post_init__(self) -> None:
+        if self.crashed and self.rank is None:
+            raise DataError("a crashed run must name the offending DIMM/rank")
+        if not self.crashed and self.rank is not None:
+            raise DataError("a clean run cannot name an offending DIMM/rank")
+
+
+@dataclass
+class PueSummary:
+    """Aggregated UE statistics for one (workload, operating point)."""
+
+    workload: str
+    trefp_s: float
+    temperature_c: float
+    total_runs: int = 0
+    crashed_runs: int = 0
+    crashes_by_rank: Dict[RankLocation, int] = field(default_factory=dict)
+
+    def add(self, observation: UeObservation) -> None:
+        if (observation.workload, observation.trefp_s, observation.temperature_c) != (
+            self.workload, self.trefp_s, self.temperature_c
+        ):
+            raise DataError("observation does not belong to this summary")
+        self.total_runs += 1
+        if observation.crashed:
+            self.crashed_runs += 1
+            self.crashes_by_rank[observation.rank] = (
+                self.crashes_by_rank.get(observation.rank, 0) + 1
+            )
+
+    @property
+    def pue(self) -> float:
+        return probability_of_uncorrectable(self.crashed_runs, self.total_runs)
+
+
+def rank_ue_distribution(summaries: Iterable[PueSummary]) -> Dict[RankLocation, float]:
+    """Probability that a UE lands on each DIMM/rank, given it occurred (Fig. 9b)."""
+    totals: Dict[RankLocation, int] = {}
+    crashes = 0
+    for summary in summaries:
+        for rank, count in summary.crashes_by_rank.items():
+            totals[rank] = totals.get(rank, 0) + count
+            crashes += count
+    if crashes == 0:
+        return {}
+    return {rank: count / crashes for rank, count in totals.items()}

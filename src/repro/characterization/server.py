@@ -1,0 +1,113 @@
+"""The X-Gene2 server model: the experimental platform of the paper.
+
+The server bundles the SoC description (8 ARMv8 cores, 4 MCUs), the four
+DDR3 DIMMs with their per-rank reliability variation, the SLIMpro
+management core and the thermal testbed.  The characterization
+experiments drive everything through this class, mirroring how the
+paper's framework drives the real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import units
+from repro.dram.calibration import DEFAULT_CALIBRATION, DramCalibration
+from repro.dram.geometry import DramGeometry
+from repro.dram.operating import OperatingPoint
+from repro.dram.statistical import StatisticalErrorModel
+from repro.dram.variation import VariationProfile
+from repro.errors import ConfigurationError
+from repro.characterization.slimpro import Slimpro
+from repro.thermal.testbed import ThermalTestbed
+
+
+@dataclass(frozen=True)
+class SocDescription:
+    """Static description of the X-Gene2 Server-on-a-Chip."""
+
+    name: str = "X-Gene2"
+    num_cores: int = units.NUM_CORES
+    core_frequency_hz: float = units.CPU_FREQ_HZ
+    num_mcus: int = units.NUM_MCUS
+    dram_type: str = "DDR3-1866"
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0 or self.num_mcus <= 0:
+            raise ConfigurationError("core and MCU counts must be positive")
+
+
+class XGene2Server:
+    """Software model of the characterization platform."""
+
+    def __init__(
+        self,
+        geometry: Optional[DramGeometry] = None,
+        variation: Optional[VariationProfile] = None,
+        calibration: Optional[DramCalibration] = None,
+        soc: Optional[SocDescription] = None,
+        seed: int = 2019,
+    ) -> None:
+        self.soc = soc or SocDescription()
+        self.geometry = geometry or DramGeometry()
+        self.variation = variation or VariationProfile.default(self.geometry)
+        self.calibration = calibration or DEFAULT_CALIBRATION
+        self.slimpro = Slimpro(self.geometry)
+        self.thermal = ThermalTestbed(num_dimms=self.geometry.num_dimms)
+        self.error_model = StatisticalErrorModel(
+            geometry=self.geometry,
+            variation=self.variation,
+            calibration=self.calibration,
+            seed=seed,
+        )
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    @property
+    def dimm_capacity_bytes(self) -> int:
+        return units.DIMM_CAPACITY_BYTES
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.geometry.num_dimms * self.dimm_capacity_bytes
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable inventory of the platform (README / examples)."""
+        return {
+            "soc": self.soc.name,
+            "cores": self.soc.num_cores,
+            "frequency_ghz": self.soc.core_frequency_hz / 1e9,
+            "mcus": self.soc.num_mcus,
+            "dimms": self.geometry.num_dimms,
+            "ranks_per_dimm": self.geometry.ranks_per_dimm,
+            "dram_chips": self.geometry.num_dimms * units.RANKS_PER_DIMM *
+            units.CHIPS_PER_RANK,
+            "total_memory_gib": self.total_memory_bytes / units.GIB,
+            "rank_wer_spread": round(self.variation.spread(), 1),
+        }
+
+    # ------------------------------------------------------------------
+    def configure(self, op: OperatingPoint, settle_thermals: bool = False) -> OperatingPoint:
+        """Apply an operating point: MCU parameters plus DIMM heater targets.
+
+        With ``settle_thermals`` the PID loops are actually simulated until
+        the DIMMs reach the target; otherwise the target temperature is
+        recorded directly (the campaign always waits for thermal settling
+        before starting a run, so both paths end in the same state).
+        """
+        self.slimpro.set_refresh_period(op.trefp_s)
+        self.slimpro.set_supply_voltage(op.vdd_v)
+        self.thermal.set_target(op.temperature_c)
+        if settle_thermals:
+            temperatures = self.thermal.settle()
+            for dimm_index, (_name, temperature) in enumerate(sorted(temperatures.items())):
+                self.slimpro.record_dimm_temperature(dimm_index, temperature)
+        else:
+            for dimm_index in range(self.geometry.num_dimms):
+                self.slimpro.record_dimm_temperature(dimm_index, op.temperature_c)
+        return self.slimpro.operating_point
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        return self.slimpro.operating_point

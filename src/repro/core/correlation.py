@@ -1,0 +1,140 @@
+"""Feature-selection study: Spearman correlation of features vs WER / PUE.
+
+Reproduces Section VI.A / Fig. 10: every one of the 249 program features
+is correlated (Spearman's rank correlation, which captures monotonic
+non-linear relationships) against the measured WER and PUE across the
+whole campaign.  The study identifies the memory access rate, wait
+cycles, ``HDP`` and ``Treuse`` as the features most related to DRAM
+error behaviour — the basis of input sets 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import ErrorDataset
+from repro.errors import DataError
+from repro.ml.metrics import spearman_correlation
+from repro.profiling.counters import all_feature_names
+
+
+@dataclass(frozen=True)
+class FeatureCorrelationPoint:
+    """One point of Fig. 10: a feature's correlation with WER and with PUE."""
+
+    feature: str
+    rs_wer: float
+    rs_pue: float
+
+    @property
+    def wer_strength(self) -> float:
+        return abs(self.rs_wer)
+
+
+@dataclass
+class CorrelationStudy:
+    """The full Fig. 10 scatter: rs(WER) and rs(PUE) for every feature."""
+
+    points: List[FeatureCorrelationPoint]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise DataError("correlation study has no points")
+        self._by_name = {point.feature: point for point in self.points}
+
+    def point(self, feature: str) -> FeatureCorrelationPoint:
+        try:
+            return self._by_name[feature]
+        except KeyError:
+            raise DataError(f"feature {feature!r} not in the study") from None
+
+    def rs_wer(self, feature: str) -> float:
+        return self.point(feature).rs_wer
+
+    def rs_pue(self, feature: str) -> float:
+        return self.point(feature).rs_pue
+
+    def top_wer_features(self, count: int = 10) -> List[FeatureCorrelationPoint]:
+        """Features most strongly correlated with WER, by |rs|."""
+        return sorted(self.points, key=lambda p: p.wer_strength, reverse=True)[:count]
+
+    def named_feature_summary(self) -> Dict[str, Tuple[float, float]]:
+        """The features the paper discusses explicitly, as (rs_WER, rs_PUE)."""
+        interesting = (
+            "memory_accesses_per_cycle",
+            "wait_cycles",
+            "hdp",
+            "treuse",
+            "ipc",
+            "cpu_utilization",
+        )
+        return {
+            name: (self.rs_wer(name), self.rs_pue(name))
+            for name in interesting
+            if name in self._by_name
+        }
+
+
+def _grouped_samples(
+    dataset: ErrorDataset, feature_names: Sequence[str]
+) -> Dict[Tuple[float, float], Dict[str, Tuple[List[float], List[float]]]]:
+    """Group samples by operating point; average targets per workload.
+
+    Returns ``{(trefp, temp): {workload: (feature_row, [targets])}}``.
+    Grouping by operating point isolates the *workload-dependent* component
+    of the error rate: WER varies by orders of magnitude with TREFP and
+    temperature, which would otherwise swamp the feature correlation.
+    """
+    groups: Dict[Tuple[float, float], Dict[str, Tuple[List[float], List[float]]]] = {}
+    for sample in dataset:
+        op_key = (round(sample.operating_point.trefp_s, 6),
+                  round(sample.operating_point.temperature_c, 2))
+        per_workload = groups.setdefault(op_key, {})
+        if sample.workload not in per_workload:
+            row = [sample.program_features[name] for name in feature_names]
+            per_workload[sample.workload] = (row, [])
+        per_workload[sample.workload][1].append(sample.target)
+    return groups
+
+
+def _grouped_spearman(
+    groups: Dict[Tuple[float, float], Dict[str, Tuple[List[float], List[float]]]],
+    column: int,
+) -> float:
+    """Spearman coefficient of one feature, averaged over operating-point groups."""
+    coefficients = []
+    for per_workload in groups.values():
+        if len(per_workload) < 3:
+            continue
+        x = [row[column] for row, _targets in per_workload.values()]
+        y = [float(np.mean(targets)) for _row, targets in per_workload.values()]
+        coefficients.append(spearman_correlation(x, y))
+    if not coefficients:
+        raise DataError("not enough samples per operating point for a correlation study")
+    return float(np.mean(coefficients))
+
+
+def run_correlation_study(
+    wer_dataset: ErrorDataset,
+    pue_dataset: ErrorDataset,
+    feature_names: Optional[Sequence[str]] = None,
+) -> CorrelationStudy:
+    """Correlate every program feature against the WER and PUE measurements.
+
+    The coefficient of a feature is the Spearman correlation between the
+    feature and the per-workload error metric, computed within each
+    operating point of the campaign and averaged across operating points.
+    """
+    names = list(feature_names) if feature_names is not None else all_feature_names()
+    wer_groups = _grouped_samples(wer_dataset, names)
+    pue_groups = _grouped_samples(pue_dataset, names)
+
+    points = []
+    for column, name in enumerate(names):
+        rs_wer = _grouped_spearman(wer_groups, column)
+        rs_pue = _grouped_spearman(pue_groups, column)
+        points.append(FeatureCorrelationPoint(feature=name, rs_wer=rs_wer, rs_pue=rs_pue))
+    return CorrelationStudy(points=points)

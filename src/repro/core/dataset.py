@@ -1,0 +1,153 @@
+"""Dataset assembly: campaign measurements + profiles -> model training data.
+
+This is the "Build data set" step of Fig. 3: every characterization
+measurement is joined with the program features of the workload that
+produced it.  Two dataset flavours exist:
+
+* :class:`WerDataset` — one sample per (workload, operating point, rank),
+  target = the per-rank WER;
+* :class:`PueDataset` — one sample per (workload, refresh period) of the
+  70 C study, target = the measured PUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.campaign import CampaignResult
+from repro.core.features import FeatureSet
+from repro.dram.geometry import RankLocation
+from repro.dram.operating import OperatingPoint
+from repro.errors import DataError
+from repro.profiling.profile import WorkloadProfile
+from repro.profiling.profiler import profile_workload
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One labelled training sample."""
+
+    workload: str
+    operating_point: OperatingPoint
+    target: float
+    program_features: Dict[str, float]
+    rank: Optional[RankLocation] = None
+
+    def input_row(self, feature_set: FeatureSet) -> np.ndarray:
+        return feature_set.build_row(self.operating_point, self.program_features)
+
+
+@dataclass
+class ErrorDataset:
+    """A set of labelled samples with matrix/group accessors."""
+
+    samples: List[Sample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def add(self, sample: Sample) -> None:
+        self.samples.append(sample)
+
+    # ------------------------------------------------------------------
+    def workloads(self) -> List[str]:
+        return sorted({sample.workload for sample in self.samples})
+
+    def ranks(self) -> List[RankLocation]:
+        return sorted({s.rank for s in self.samples if s.rank is not None})
+
+    def filter_rank(self, rank: RankLocation) -> "ErrorDataset":
+        """Samples belonging to one DIMM/rank (per-module models)."""
+        subset = [s for s in self.samples if s.rank == rank]
+        if not subset:
+            raise DataError(f"no samples for rank {rank.label}")
+        return ErrorDataset(samples=subset)
+
+    def matrices(self, feature_set: FeatureSet) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (X, y, groups) where groups are workload names."""
+        if not self.samples:
+            raise DataError("dataset is empty")
+        X = np.stack([sample.input_row(feature_set) for sample in self.samples])
+        y = np.array([sample.target for sample in self.samples], dtype=float)
+        groups = np.array([sample.workload for sample in self.samples])
+        return X, y, groups
+
+    def targets_by_workload(self) -> Dict[str, List[float]]:
+        result: Dict[str, List[float]] = {}
+        for sample in self.samples:
+            result.setdefault(sample.workload, []).append(sample.target)
+        return result
+
+
+def _profiles_for(
+    workloads: Sequence[str], profiles: Optional[Dict[str, WorkloadProfile]]
+) -> Dict[str, WorkloadProfile]:
+    if profiles is not None:
+        missing = [w for w in workloads if w not in profiles]
+        if missing:
+            raise DataError(f"profiles missing for workloads: {missing}")
+        return profiles
+    return {workload: profile_workload(workload) for workload in workloads}
+
+
+def build_wer_dataset(
+    campaign: CampaignResult,
+    profiles: Optional[Dict[str, WorkloadProfile]] = None,
+) -> ErrorDataset:
+    """Join per-rank WER measurements with program features."""
+    workloads = sorted({m.workload for m in campaign.wer_measurements})
+    resolved = _profiles_for(workloads, profiles)
+    dataset = ErrorDataset()
+    for measurement in campaign.wer_measurements:
+        profile = resolved[measurement.workload]
+        op = OperatingPoint(
+            trefp_s=measurement.trefp_s,
+            vdd_v=measurement.vdd_v,
+            temperature_c=measurement.temperature_c,
+        )
+        dataset.add(
+            Sample(
+                workload=measurement.workload,
+                operating_point=op,
+                target=measurement.wer,
+                program_features=profile.features,
+                rank=measurement.rank,
+            )
+        )
+    if not dataset.samples:
+        raise DataError("campaign contains no WER measurements")
+    return dataset
+
+
+def build_pue_dataset(
+    campaign: CampaignResult,
+    profiles: Optional[Dict[str, WorkloadProfile]] = None,
+    vdd_v: float = 1.428,
+) -> ErrorDataset:
+    """Join the 70 C UE study with program features (target = PUE)."""
+    workloads = sorted({s.workload for s in campaign.pue_summaries})
+    resolved = _profiles_for(workloads, profiles)
+    dataset = ErrorDataset()
+    for summary in campaign.pue_summaries:
+        profile = resolved[summary.workload]
+        op = OperatingPoint(
+            trefp_s=summary.trefp_s, vdd_v=vdd_v, temperature_c=summary.temperature_c
+        )
+        dataset.add(
+            Sample(
+                workload=summary.workload,
+                operating_point=op,
+                target=summary.pue,
+                program_features=profile.features,
+                rank=None,
+            )
+        )
+    if not dataset.samples:
+        raise DataError("campaign contains no UE observations")
+    return dataset

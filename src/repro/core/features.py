@@ -1,0 +1,109 @@
+"""Model input features and the three input sets of Table III.
+
+A model input row is the concatenation of the DRAM operating parameters
+(``TREFP``, ``VDD``, ``TEMPDRAM``) with a subset of the 249 program
+features.  The paper evaluates three such subsets:
+
+* **Input set 1** — operating parameters + the four program features most
+  correlated with DRAM errors (memory access rate, wait cycles, ``HDP``,
+  ``Treuse``);
+* **Input set 2** — operating parameters + memory access rate and wait
+  cycles only;
+* **Input set 3** — operating parameters + all 249 program features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.operating import OperatingPoint
+from repro.errors import ConfigurationError
+from repro.profiling.counters import all_feature_names
+
+#: Names of the operating-parameter inputs prepended to every feature set.
+OPERATING_FEATURES: Tuple[str, ...] = ("trefp_s", "vdd_v", "temperature_c")
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """A named selection of program features used to train a model."""
+
+    name: str
+    program_features: Tuple[str, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.program_features:
+            raise ConfigurationError("a feature set needs at least one program feature")
+        known = set(all_feature_names())
+        unknown = [f for f in self.program_features if f not in known]
+        if unknown:
+            raise ConfigurationError(f"unknown program features: {unknown}")
+
+    @property
+    def input_names(self) -> List[str]:
+        """Operating parameters followed by the program features."""
+        return list(OPERATING_FEATURES) + list(self.program_features)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_names)
+
+    def build_row(self, op: OperatingPoint, program_values: Dict[str, float]) -> np.ndarray:
+        """One model-input row for an operating point + program feature values."""
+        missing = [f for f in self.program_features if f not in program_values]
+        if missing:
+            raise ConfigurationError(f"missing program feature values: {missing}")
+        operating = [op.trefp_s, op.vdd_v, op.temperature_c]
+        program = [float(program_values[f]) for f in self.program_features]
+        return np.array(operating + program, dtype=float)
+
+
+#: Table III, input set 1: the strongly correlated features plus the new metrics.
+INPUT_SET_1 = FeatureSet(
+    name="set1",
+    program_features=("memory_accesses_per_cycle", "wait_cycles", "hdp", "treuse"),
+    description="TEMP, TREFP, VDD + memory access rate, wait cycles, HDP, Treuse",
+)
+
+#: Table III, input set 2: only the two most correlated perf-counter features.
+INPUT_SET_2 = FeatureSet(
+    name="set2",
+    program_features=("memory_accesses_per_cycle", "wait_cycles"),
+    description="TEMP, TREFP, VDD + memory access rate, wait cycles",
+)
+
+#: Table III, input set 3: every collected program feature.
+INPUT_SET_3 = FeatureSet(
+    name="set3",
+    program_features=tuple(all_feature_names()),
+    description="TEMP, TREFP, VDD + all 249 program features",
+)
+
+INPUT_SETS: Dict[str, FeatureSet] = {
+    "set1": INPUT_SET_1,
+    "set2": INPUT_SET_2,
+    "set3": INPUT_SET_3,
+}
+
+
+def get_feature_set(name: str) -> FeatureSet:
+    """Look up one of the Table III input sets by name (``set1``/``set2``/``set3``)."""
+    try:
+        return INPUT_SETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown input set {name!r}; choose from {sorted(INPUT_SETS)}"
+        ) from None
+
+
+def feature_set_table() -> List[Dict[str, str]]:
+    """Table III as data: one row per input set."""
+    return [
+        {"input_set": fs.name, "parameters": ", ".join(fs.input_names[:8]) +
+         (", ..." if fs.num_inputs > 8 else ""), "num_inputs": str(fs.num_inputs)}
+        for fs in INPUT_SETS.values()
+    ]

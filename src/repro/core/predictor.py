@@ -1,0 +1,126 @@
+"""End-to-end workload-aware predictor: the public entry point of the library.
+
+This class packages what the paper releases as the "DRAM error behavioral
+model": a trained (KNN-based by default) model that, given a workload's
+program features and a target operating point, predicts the per-rank WER
+and the probability of an uncorrectable error within milliseconds —
+versus the hours or days a characterization campaign would take.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.characterization.campaign import CampaignResult
+from repro.core.dataset import build_pue_dataset, build_wer_dataset
+from repro.core.model import DramErrorModel, ModelConfig
+from repro.dram.geometry import RankLocation
+from repro.dram.operating import OperatingPoint
+from repro.errors import ConfigurationError, NotFittedError
+from repro.profiling.profile import WorkloadProfile
+from repro.profiling.profiler import profile_workload
+
+
+@dataclass
+class PredictionResult:
+    """One prediction: per-rank WER, memory-wide WER, PUE and the latency."""
+
+    workload: str
+    operating_point: OperatingPoint
+    wer_by_rank: Dict[RankLocation, float]
+    pue: Optional[float]
+    latency_s: float
+
+    @property
+    def memory_wer(self) -> float:
+        values = list(self.wer_by_rank.values())
+        return sum(values) / len(values)
+
+
+@dataclass
+class PredictorConfig:
+    """Model choices for the end-to-end predictor."""
+
+    wer_family: str = "knn"
+    wer_feature_set: str = "set1"
+    pue_family: str = "knn"
+    pue_feature_set: str = "set2"
+
+
+class WorkloadAwarePredictor:
+    """Train once on a campaign, then predict any workload in milliseconds."""
+
+    def __init__(self, config: Optional[PredictorConfig] = None) -> None:
+        self.config = config or PredictorConfig()
+        self._wer_models: Dict[RankLocation, DramErrorModel] = {}
+        self._pue_model: Optional[DramErrorModel] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, campaign: CampaignResult,
+            profiles: Optional[Dict[str, WorkloadProfile]] = None) -> "WorkloadAwarePredictor":
+        """Train the per-rank WER models and the PUE model from a campaign."""
+        wer_dataset = build_wer_dataset(campaign, profiles)
+        for rank in wer_dataset.ranks():
+            model = DramErrorModel(ModelConfig(
+                family=self.config.wer_family,
+                feature_set=self.config.wer_feature_set,
+                log_target=True,
+            ))
+            model.fit(wer_dataset.filter_rank(rank))
+            self._wer_models[rank] = model
+
+        if campaign.pue_summaries:
+            pue_dataset = build_pue_dataset(campaign, profiles)
+            self._pue_model = DramErrorModel(ModelConfig(
+                family=self.config.pue_family,
+                feature_set=self.config.pue_feature_set,
+                log_target=False,
+            ))
+            self._pue_model.fit(pue_dataset)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._wer_models)
+
+    # ------------------------------------------------------------------
+    def _resolve_profile(self, workload: Union[str, WorkloadProfile]) -> WorkloadProfile:
+        if isinstance(workload, WorkloadProfile):
+            return workload
+        if isinstance(workload, str):
+            return profile_workload(workload)
+        raise ConfigurationError(
+            "workload must be a registry name or a WorkloadProfile instance"
+        )
+
+    def predict(
+        self, workload: Union[str, WorkloadProfile], op: OperatingPoint
+    ) -> PredictionResult:
+        """Predict WER (per rank) and PUE for a workload at an operating point."""
+        if not self.is_fitted:
+            raise NotFittedError("WorkloadAwarePredictor must be fitted first")
+        profile = self._resolve_profile(workload)
+
+        start = time.perf_counter()
+        wer_by_rank = {
+            rank: model.predict(op, profile.features)
+            for rank, model in self._wer_models.items()
+        }
+        pue = None
+        if self._pue_model is not None:
+            pue = float(min(max(self._pue_model.predict(op, profile.features), 0.0), 1.0))
+        latency = time.perf_counter() - start
+
+        return PredictionResult(
+            workload=profile.workload,
+            operating_point=op,
+            wer_by_rank=wer_by_rank,
+            pue=pue,
+            latency_s=latency,
+        )
+
+    def predict_wer(self, workload: Union[str, WorkloadProfile], op: OperatingPoint) -> float:
+        """Memory-wide WER prediction (convenience wrapper)."""
+        return self.predict(workload, op).memory_wer

@@ -1,0 +1,129 @@
+"""Calibration constants of the DRAM reliability model.
+
+The paper measures error rates on real hardware; this reproduction uses
+a retention-failure model whose constants are *calibrated* so that the
+simulated platform reproduces the published magnitudes and trends:
+
+* WER grows exponentially with TREFP (Fig. 7f) and with temperature,
+  covering roughly ``1e-10 .. 1e-5`` across the studied range;
+* WER varies ~8x across workloads at a fixed operating point (Fig. 7e);
+* WER varies up to ~188x across DIMM/ranks (Fig. 8);
+* UEs appear only at 70 C for TREFP >= 1.45 s, the mean PUE grows by
+  ~2.15x from 1.45 s to 1.727 s and saturates at 2.283 s (Fig. 9a);
+* lowering VDD from 1.5 V to 1.428 V has a negligible effect (Sec. V).
+
+The model: each DRAM cell's retention time is lognormally distributed
+across the population.  A bit fails when its retention time is shorter
+than the *effective* refresh interval it experiences (the configured
+TREFP, unless the running program re-accesses the word more often).
+Raising the temperature shifts the retention distribution down
+(retention roughly halves every 10 C, consistent with [19]); a high
+memory-access rate adds disturbance (cell-to-cell interference)
+failures.  Data patterns with higher entropy expose more vulnerable
+charge states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetentionCalibration:
+    """Constants of the lognormal retention-failure model.
+
+    ``ln`` of a cell's retention time (seconds) at the reference
+    temperature is Normal(``log_median_retention_50c``, ``log_sigma``).
+    """
+
+    #: natural log of the median cell retention time at 50 C, in seconds
+    log_median_retention_50c: float = 8.45
+    #: lognormal shape parameter of the retention-time distribution
+    log_sigma: float = 1.35
+    #: retention degradation per degree Celsius (ln units); 0.08/°C halves
+    #: retention roughly every 9 C, consistent with Hamamoto et al. [19]
+    temperature_slope_per_c: float = 0.08
+    #: reference temperature of the calibration (deg C)
+    reference_temperature_c: float = 50.0
+    #: ln-units retention loss per volt of VDD reduction below nominal;
+    #: small, because the paper found the 1.5 V -> 1.428 V drop negligible
+    vdd_slope_per_volt: float = 0.6
+    #: nominal DDR3 supply voltage
+    nominal_vdd_v: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.log_sigma <= 0:
+            raise ConfigurationError("log_sigma must be positive")
+        if self.temperature_slope_per_c < 0:
+            raise ConfigurationError("temperature_slope_per_c must be non-negative")
+
+
+@dataclass(frozen=True)
+class WorkloadEffectCalibration:
+    """Constants of the workload-dependent modulation terms."""
+
+    #: residual failure probability retained by implicitly-refreshed words;
+    #: re-reading a word recharges it, but VRT cells can still fail
+    implicit_refresh_residual: float = 0.03
+    #: lognormal spread (in ln units) of per-word reuse times around the
+    #: workload's mean Treuse; a wide spread means even a workload whose mean
+    #: reuse time is below TREFP still leaves part of its footprint
+    #: un-refreshed (and vice versa), which compresses the WER spread across
+    #: workloads to the ~8x the paper reports
+    reuse_spread_sigma: float = 1.4
+    #: strength of the access-rate-driven disturbance (interference) term,
+    #: expressed as an equivalent multiple of the retention failure rate
+    #: per (memory access per kilo-cycle)
+    interference_per_access_per_kcycle: float = 0.03
+    #: minimum data-pattern vulnerability factor (entropy = 0, solid pattern)
+    entropy_floor: float = 0.35
+    #: additional vulnerability per bit of data entropy (max entropy = 32 bits)
+    entropy_slope: float = 0.70 / 32.0
+    #: lognormal sigma of the per-(workload, rank) idiosyncratic factor the
+    #: features cannot explain; this bounds the best achievable model accuracy
+    idiosyncratic_sigma: float = 0.10
+    #: lognormal sigma of run-to-run variation (variable retention time)
+    run_to_run_sigma: float = 0.04
+
+
+@dataclass(frozen=True)
+class UeCalibration:
+    """Constants of the uncorrectable-error (multi-bit) model."""
+
+    #: fraction of multi-bit-vulnerable words actually touched (and hence
+    #: detected as UE -> crash) during a 2-hour run
+    scrub_coverage: float = 0.55
+    #: clustering factor: neighbouring bits do not fail independently, which
+    #: boosts the 2-bit-per-word probability relative to the i.i.d. estimate
+    clustering_factor: float = 1.6
+    #: extra super-quadratic growth of multi-bit failures with the refresh
+    #: period: clustered weak cells in the same word share the exposure
+    #: window, so the observed PUE rises from "rare below 1.45 s" to
+    #: "certain at 2.283 s" (Fig. 9a) faster than independent bits would
+    trefp_exponent: float = 4.0
+    #: reference refresh period for the super-quadratic term (seconds)
+    trefp_reference_s: float = 1.45
+    #: extra exponential temperature sensitivity (per deg C, referenced to
+    #: 70 C) of multi-bit failures: the VRT-activated weak-cell clusters that
+    #: produce UEs only open up near the top of the studied temperature
+    #: range, which is why the paper observes UEs exclusively at 70 C
+    temperature_boost_per_c: float = 0.30
+    #: reference temperature of the boost term (deg C)
+    temperature_reference_c: float = 70.0
+
+
+@dataclass(frozen=True)
+class DramCalibration:
+    """Aggregate calibration bundle used by the statistical model."""
+
+    retention: RetentionCalibration = RetentionCalibration()
+    workload: WorkloadEffectCalibration = WorkloadEffectCalibration()
+    ue: UeCalibration = UeCalibration()
+    #: timescale (seconds) of WER convergence during a characterization run;
+    #: chosen so the last-10-minute change of a 2-hour run is < 3 % (Sec. V.A)
+    convergence_tau_s: float = 1800.0
+
+
+DEFAULT_CALIBRATION = DramCalibration()

@@ -1,0 +1,247 @@
+"""Explicit cell-array DRAM simulator.
+
+This is the "FPGA testbed in software": a small DRAM array whose
+individual cells have sampled retention times, true-/anti-cell charge
+polarity, variable retention time (VRT) and cell-to-cell interference.
+It exists to (a) validate the closed-form statistical model used for the
+full-scale campaigns against a mechanism-level simulation, and (b) let
+unit tests and examples exercise real SECDED decoding on real bit flips.
+
+Semantics
+---------
+* Every 64-bit word is stored as a 72-bit SECDED codeword.
+* A cell retains its charge for ``retention`` seconds after the last
+  recharge; a recharge happens on every write, on every read of the word
+  (reading senses and rewrites the row) and on every auto-refresh
+  (period ``TREFP``).
+* Once a cell has gone longer than its retention time without a
+  recharge, its stored value decays towards the cell's discharge
+  polarity.  If the stored bit already equals the discharge polarity the
+  decay is invisible — this is how the data pattern (entropy) affects
+  the observed error rate.
+* Accessing a row disturbs its physical neighbours (row hammer): the
+  neighbours' effective retention shrinks with the number of
+  disturbances accumulated since their last recharge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import units
+from repro.dram.calibration import DEFAULT_CALIBRATION, DramCalibration
+from repro.dram.ecc import DecodeResult, ErrorClass, SecdedCode
+from repro.dram.geometry import CellLocation, DramGeometry, small_geometry
+from repro.dram.records import ErrorLog, ErrorRecord
+from repro.dram.retention import sample_retention_times
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class CellArrayConfig:
+    """Configuration of the explicit cell-array simulator."""
+
+    geometry: DramGeometry
+    trefp_s: float = 0.064
+    vdd_v: float = units.NOMINAL_VDD_V
+    temperature_c: float = 50.0
+    #: strength of the row-hammer disturbance: fractional retention loss per
+    #: disturbance of a neighbouring row within one refresh window
+    interference_strength: float = 2e-4
+    #: probability that a cell is a VRT cell whose retention occasionally
+    #: collapses by an order of magnitude
+    vrt_fraction: float = 0.01
+    #: fraction of true-cells (cells that discharge towards logic 0); DRAM
+    #: arrays are predominantly true-cell, which is why data patterns with
+    #: more charged bits (higher entropy) expose more retention failures
+    true_cell_fraction: float = 0.8
+    #: retention calibration; tests and small-scale examples may substitute a
+    #: weaker population so failures become observable in tiny arrays
+    calibration: DramCalibration = DEFAULT_CALIBRATION
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.trefp_s <= 0:
+            raise ConfigurationError("trefp_s must be positive")
+        if self.interference_strength < 0:
+            raise ConfigurationError("interference_strength must be non-negative")
+        if not 0.0 <= self.vrt_fraction <= 1.0:
+            raise ConfigurationError("vrt_fraction must be in [0, 1]")
+        if not 0.0 <= self.true_cell_fraction <= 1.0:
+            raise ConfigurationError("true_cell_fraction must be in [0, 1]")
+
+
+class CellArraySimulator:
+    """Mechanism-level simulation of a (small) ECC-protected DRAM array."""
+
+    def __init__(self, config: Optional[CellArrayConfig] = None) -> None:
+        self.config = config or CellArrayConfig(geometry=small_geometry())
+        self.geometry = self.config.geometry
+        self._rng = np.random.default_rng(self.config.seed)
+        self._code = SecdedCode()
+
+        n_words = self.geometry.total_words
+        n_cells = n_words * units.CODEWORD_BITS
+        if n_cells > 50_000_000:
+            raise ConfigurationError(
+                "cell-array simulation is meant for small geometries; use the "
+                "statistical model for full-scale campaigns"
+            )
+
+        # Per-cell state, stored as (words, 72) arrays.
+        self.codewords = np.zeros((n_words, units.CODEWORD_BITS), dtype=np.uint8)
+        retention = sample_retention_times(
+            n_cells,
+            self.config.temperature_c,
+            self.config.vdd_v,
+            calibration=self.config.calibration.retention,
+            rng=self._rng,
+        ).reshape(n_words, units.CODEWORD_BITS)
+        # VRT cells: occasionally an order of magnitude weaker.
+        vrt_mask = self._rng.random((n_words, units.CODEWORD_BITS)) < self.config.vrt_fraction
+        self.base_retention_s = retention
+        self.vrt_mask = vrt_mask
+        #: discharge polarity of each cell (true-cell decays to 0, anti-cell to 1)
+        self.discharge_value = (
+            self._rng.random((n_words, units.CODEWORD_BITS))
+            >= self.config.true_cell_fraction
+        ).astype(np.uint8)
+
+        # Per-word bookkeeping.
+        self.last_recharge_s = np.zeros(n_words)
+        self.max_exposure_s = np.zeros(n_words)   #: worst unrefreshed gap since last write
+        self.word_written = np.zeros(n_words, dtype=bool)
+        #: row-hammer disturbance accumulated per word since its last recharge
+        self.disturbance = np.zeros(n_words)
+
+        self.now_s = 0.0
+        self.error_log = ErrorLog()
+
+    # ------------------------------------------------------------------
+    def _word_index(self, location: CellLocation) -> int:
+        return self.geometry.word_index(location)
+
+    def advance_time(self, delta_s: float) -> None:
+        """Advance the simulation clock; auto-refresh bounds cell exposure."""
+        if delta_s < 0:
+            raise SimulationError("time cannot move backwards")
+        self.now_s += delta_s
+
+    def _record_exposure(self, word: int) -> None:
+        """Account the un-recharged gap ending now for ``word``.
+
+        Auto-refresh recharges every cell at least once per TREFP, so the
+        worst-case exposure of any single retention window is bounded by
+        TREFP even when the word is never accessed.
+        """
+        gap = self.now_s - self.last_recharge_s[word]
+        exposure = min(gap, self.config.trefp_s)
+        if exposure > self.max_exposure_s[word]:
+            self.max_exposure_s[word] = exposure
+
+    def _effective_retention(self, word: int) -> np.ndarray:
+        retention = self.base_retention_s[word].copy()
+        retention[self.vrt_mask[word]] *= 0.1
+        denom = 1.0 + self.config.interference_strength * self.disturbance[word]
+        return retention / denom
+
+    def _disturb_neighbours(self, location: CellLocation) -> None:
+        for neighbour_row in (location.row - 1, location.row + 1):
+            if not 0 <= neighbour_row < self.geometry.rows_per_bank:
+                continue
+            start = self.geometry.word_index(
+                CellLocation(location.dimm, location.rank, location.bank, neighbour_row, 0)
+            )
+            self.disturbance[start : start + self.geometry.columns_per_row] += 1.0
+
+    # -- memory operations ---------------------------------------------------
+    def write(self, location: CellLocation, data: int) -> None:
+        """Store a 64-bit value; writing recharges and resets the word's history."""
+        word = self._word_index(location)
+        self.codewords[word] = self._code.encode(data)
+        self.last_recharge_s[word] = self.now_s
+        self.max_exposure_s[word] = 0.0
+        self.disturbance[word] = 0.0
+        self.word_written[word] = True
+        self._disturb_neighbours(location)
+
+    def read(self, location: CellLocation, workload: str = "") -> DecodeResult:
+        """Read a word: apply decay, decode through ECC, log any error.
+
+        Reading senses the whole row, so it also recharges the word and
+        scrubs single-bit errors (the corrected value is written back).
+        """
+        word = self._word_index(location)
+        if not self.word_written[word]:
+            raise SimulationError(f"read of unwritten location {location}")
+
+        self._record_exposure(word)
+        retention = self._effective_retention(word)
+        leaked = retention < self.max_exposure_s[word]
+        stored = self.codewords[word].copy()
+        decayed = np.where(leaked, self.discharge_value[word], stored).astype(np.uint8)
+
+        result = self._code.decode(decayed)
+        if result.error_class is not ErrorClass.NO_ERROR:
+            self.error_log.append(
+                ErrorRecord(
+                    error_class=result.error_class,
+                    location=location,
+                    timestamp_s=self.now_s,
+                    workload=workload,
+                )
+            )
+
+        # Scrub-on-read: single-bit errors are corrected in place; multi-bit
+        # corruption persists (the data is lost until rewritten).
+        if result.error_class in (ErrorClass.NO_ERROR, ErrorClass.CORRECTED):
+            self.codewords[word] = self._code.encode(
+                int(sum(int(b) << i for i, b in enumerate(result.data)))
+            )
+        else:
+            self.codewords[word] = decayed
+        self.last_recharge_s[word] = self.now_s
+        self.max_exposure_s[word] = 0.0
+        self.disturbance[word] = 0.0
+        self._disturb_neighbours(location)
+        return result
+
+    # -- bulk helpers used by tests and the validation example ---------------
+    def fill(self, data_values: List[int], locations: Optional[List[CellLocation]] = None) -> List[CellLocation]:
+        """Write a list of values to consecutive locations; returns the locations."""
+        if locations is None:
+            locations = [
+                self.geometry.cell_from_word_index(i) for i in range(len(data_values))
+            ]
+        if len(locations) != len(data_values):
+            raise ConfigurationError("locations and data_values must have equal length")
+        for location, value in zip(locations, data_values):
+            self.write(location, value)
+        return locations
+
+    def idle(self, duration_s: float) -> None:
+        """Let the array sit idle (only auto-refresh active) for ``duration_s``."""
+        self.advance_time(duration_s)
+
+    def sweep_read(self, locations: List[CellLocation], workload: str = "") -> Dict[ErrorClass, int]:
+        """Read every location once and return error counts by class."""
+        counts: Dict[ErrorClass, int] = {
+            ErrorClass.CORRECTED: 0,
+            ErrorClass.UNCORRECTABLE: 0,
+            ErrorClass.SILENT: 0,
+        }
+        for location in locations:
+            result = self.read(location, workload=workload)
+            if result.error_class in counts:
+                counts[result.error_class] += 1
+        return counts
+
+    def measured_wer(self, footprint_words: Optional[int] = None) -> float:
+        """WER per Eq. 2: unique CE word locations / footprint size in words."""
+        footprint = footprint_words or int(self.word_written.sum())
+        if footprint <= 0:
+            raise SimulationError("cannot compute WER for an empty footprint")
+        return len(self.error_log.unique_word_locations(ErrorClass.CORRECTED)) / footprint

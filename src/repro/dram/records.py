@@ -1,0 +1,140 @@
+"""Error records and the error log maintained by the management processor.
+
+On the X-Gene2, the SLIMpro management core reports every ECC event to
+the kernel together with the DIMM, rank, bank, row and column where it
+occurred.  :class:`ErrorLog` is the software equivalent: an append-only
+log that the characterization framework queries to compute WER and PUE.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.dram.ecc import ErrorClass
+from repro.dram.geometry import CellLocation, RankLocation
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One ECC event: what happened, where and when."""
+
+    error_class: ErrorClass
+    location: CellLocation
+    timestamp_s: float
+    workload: str = ""
+
+    def __post_init__(self) -> None:
+        if self.error_class is ErrorClass.NO_ERROR:
+            raise ConfigurationError("ErrorRecord must describe an actual error")
+        if self.timestamp_s < 0:
+            raise ConfigurationError("timestamp_s must be non-negative")
+
+    @property
+    def rank_location(self) -> RankLocation:
+        return self.location.rank_location
+
+
+class ErrorLog:
+    """Append-only log of ECC events with the queries the study needs."""
+
+    def __init__(self) -> None:
+        self._records: List[ErrorRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def append(self, record: ErrorRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ErrorRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    # -- queries -----------------------------------------------------------
+    def records(self, error_class: Optional[ErrorClass] = None) -> List[ErrorRecord]:
+        """All records, optionally filtered by error class."""
+        if error_class is None:
+            return list(self._records)
+        return [r for r in self._records if r.error_class is error_class]
+
+    def count(self, error_class: Optional[ErrorClass] = None) -> int:
+        return len(self.records(error_class))
+
+    def unique_word_locations(
+        self, error_class: ErrorClass = ErrorClass.CORRECTED
+    ) -> Set[CellLocation]:
+        """Distinct 64-bit word locations affected by a given error class.
+
+        WER counts *unique* erroneous word locations (Eq. 2), so repeated
+        CEs at the same address contribute once.
+        """
+        return {r.location for r in self._records if r.error_class is error_class}
+
+    def unique_words_by_rank(
+        self, error_class: ErrorClass = ErrorClass.CORRECTED
+    ) -> Dict[RankLocation, int]:
+        """Number of distinct erroneous words per DIMM/rank (Fig. 8)."""
+        per_rank: Dict[RankLocation, Set[CellLocation]] = {}
+        for record in self._records:
+            if record.error_class is error_class:
+                per_rank.setdefault(record.rank_location, set()).add(record.location)
+        return {rank: len(words) for rank, words in per_rank.items()}
+
+    def counts_by_rank(self, error_class: ErrorClass) -> Dict[RankLocation, int]:
+        """Raw event counts per DIMM/rank."""
+        counter: Counter = Counter()
+        for record in self._records:
+            if record.error_class is error_class:
+                counter[record.rank_location] += 1
+        return dict(counter)
+
+    def has_uncorrectable(self) -> bool:
+        """True when the log contains at least one UE (the run crashed)."""
+        return any(r.error_class is ErrorClass.UNCORRECTABLE for r in self._records)
+
+    def first_uncorrectable(self) -> Optional[ErrorRecord]:
+        """The earliest UE in the log, if any."""
+        ues = self.records(ErrorClass.UNCORRECTABLE)
+        if not ues:
+            return None
+        return min(ues, key=lambda r: r.timestamp_s)
+
+    def timeline(
+        self, error_class: ErrorClass = ErrorClass.CORRECTED, bucket_s: float = 600.0
+    ) -> List[Tuple[float, int]]:
+        """Cumulative unique erroneous words over time.
+
+        Returns ``[(t, unique_words_up_to_t), ...]`` with one entry per
+        ``bucket_s`` interval — the raw material of Fig. 2 and Fig. 4.
+        """
+        if bucket_s <= 0:
+            raise ConfigurationError("bucket_s must be positive")
+        relevant = sorted(
+            (r for r in self._records if r.error_class is error_class),
+            key=lambda r: r.timestamp_s,
+        )
+        if not relevant:
+            return []
+        end = relevant[-1].timestamp_s
+        buckets: List[Tuple[float, int]] = []
+        seen: Set[CellLocation] = set()
+        index = 0
+        t = bucket_s
+        while t <= end + bucket_s:
+            while index < len(relevant) and relevant[index].timestamp_s <= t:
+                seen.add(relevant[index].location)
+                index += 1
+            buckets.append((t, len(seen)))
+            if t > end:
+                break
+            t += bucket_s
+        return buckets

@@ -1,0 +1,107 @@
+"""Retention-time physics of DRAM cells.
+
+Cell retention times follow a lognormal distribution across the cell
+population [31], shrink exponentially with temperature [19], and are
+slightly reduced by lowering the supply voltage.  These functions are
+shared by the explicit cell-array simulator and by the closed-form
+statistical model used for full-scale campaigns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.dram.calibration import DEFAULT_CALIBRATION, RetentionCalibration
+from repro.errors import ConfigurationError
+
+
+def log_median_retention(
+    temperature_c: float,
+    vdd_v: float,
+    calibration: Optional[RetentionCalibration] = None,
+) -> float:
+    """Natural log of the median cell retention time at the operating point."""
+    cal = calibration or DEFAULT_CALIBRATION.retention
+    delta_t = temperature_c - cal.reference_temperature_c
+    delta_v = cal.nominal_vdd_v - vdd_v
+    return (
+        cal.log_median_retention_50c
+        - cal.temperature_slope_per_c * delta_t
+        - cal.vdd_slope_per_volt * delta_v
+    )
+
+
+def median_retention_s(
+    temperature_c: float,
+    vdd_v: float = 1.5,
+    calibration: Optional[RetentionCalibration] = None,
+) -> float:
+    """Median cell retention time (seconds) at the operating point."""
+    return math.exp(log_median_retention(temperature_c, vdd_v, calibration))
+
+
+def bit_failure_probability(
+    effective_refresh_s: float,
+    temperature_c: float,
+    vdd_v: float = 1.5,
+    calibration: Optional[RetentionCalibration] = None,
+) -> float:
+    """Probability that a single cell's retention time is below the refresh interval.
+
+    This is the lognormal CDF evaluated at the effective refresh interval.
+    A longer refresh period, a higher temperature or a lower VDD all push
+    the operating point further into the retention-time tail, which is
+    what produces the exponential growth of WER with TREFP (Fig. 7f).
+    """
+    if effective_refresh_s <= 0:
+        raise ConfigurationError("effective_refresh_s must be positive")
+    cal = calibration or DEFAULT_CALIBRATION.retention
+    mu = log_median_retention(temperature_c, vdd_v, cal)
+    z = (math.log(effective_refresh_s) - mu) / cal.log_sigma
+    return float(stats.norm.cdf(z))
+
+
+def sample_retention_times(
+    n_cells: int,
+    temperature_c: float,
+    vdd_v: float = 1.5,
+    calibration: Optional[RetentionCalibration] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sample per-cell retention times (seconds) for an explicit cell array."""
+    if n_cells <= 0:
+        raise ConfigurationError("n_cells must be positive")
+    cal = calibration or DEFAULT_CALIBRATION.retention
+    generator = rng or np.random.default_rng()
+    mu = log_median_retention(temperature_c, vdd_v, cal)
+    return np.exp(generator.normal(mu, cal.log_sigma, size=n_cells))
+
+
+def rescale_retention_times(
+    retention_s: np.ndarray,
+    from_temperature_c: float,
+    to_temperature_c: float,
+    calibration: Optional[RetentionCalibration] = None,
+) -> np.ndarray:
+    """Rescale sampled retention times to a different temperature.
+
+    The lognormal temperature shift is multiplicative, so a population
+    sampled at one temperature can be carried to another without
+    re-sampling — exactly how a heated DIMM behaves: the same weak cells
+    get weaker.
+    """
+    cal = calibration or DEFAULT_CALIBRATION.retention
+    factor = math.exp(
+        -cal.temperature_slope_per_c * (to_temperature_c - from_temperature_c)
+    )
+    return np.asarray(retention_s, dtype=float) * factor
+
+
+def retention_halving_temperature(calibration: Optional[RetentionCalibration] = None) -> float:
+    """Temperature increase (deg C) that halves the median retention time."""
+    cal = calibration or DEFAULT_CALIBRATION.retention
+    return math.log(2.0) / cal.temperature_slope_per_c

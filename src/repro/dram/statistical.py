@@ -1,0 +1,278 @@
+"""Closed-form statistical DRAM error model used for full-scale campaigns.
+
+The explicit cell-array simulator (:mod:`repro.dram.cells`) cannot hold
+the 8 GB footprints the paper allocates, so characterization campaigns
+use this model: expected error rates are computed in closed form from
+the retention-failure physics, the workload's behaviour (access rate,
+reuse time, data entropy, footprint) and the per-rank variation profile,
+then individual runs are sampled around the expectation with
+variable-retention-time (run-to-run) noise.
+
+A deliberately *idiosyncratic* per-(workload, rank) factor — deterministic
+but not derivable from the program features — represents everything the
+feature vector cannot explain (exact physical page placement, allocator
+behaviour, micro-architectural noise).  It is what bounds the accuracy a
+perfect ML model can reach, mirroring the ~10 % residual error of the
+paper's best model.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import units
+from repro.dram.calibration import DEFAULT_CALIBRATION, DramCalibration
+from repro.dram.geometry import DramGeometry, RankLocation
+from repro.dram.operating import OperatingPoint
+from repro.dram.retention import bit_failure_probability
+from repro.dram.variation import VariationProfile
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadBehavior:
+    """The workload-dependent quantities the error physics responds to.
+
+    These are derived from a workload's profile (Section III.D): the rate
+    of memory accesses reaching DRAM, the average DRAM reuse time
+    ``Treuse``, the data-pattern entropy ``HDP`` and the allocated
+    footprint.
+    """
+
+    accesses_per_cycle: float          #: DRAM accesses per CPU cycle
+    reuse_time_s: float                #: average time between accesses to a word
+    data_entropy_bits: float           #: HDP, in bits (0 .. 32)
+    footprint_words: int               #: allocated memory, in 64-bit words
+    wait_cycle_fraction: float = 0.0   #: fraction of cycles stalled on memory
+
+    def __post_init__(self) -> None:
+        if self.accesses_per_cycle < 0:
+            raise ConfigurationError("accesses_per_cycle must be non-negative")
+        if self.reuse_time_s <= 0:
+            raise ConfigurationError("reuse_time_s must be positive")
+        if not 0.0 <= self.data_entropy_bits <= 32.0 + 1e-9:
+            raise ConfigurationError("data_entropy_bits must lie in [0, 32]")
+        if self.footprint_words <= 0:
+            raise ConfigurationError("footprint_words must be positive")
+        if not 0.0 <= self.wait_cycle_fraction <= 1.0:
+            raise ConfigurationError("wait_cycle_fraction must lie in [0, 1]")
+
+
+def _stable_unit_normal(*parts: str) -> float:
+    """Deterministic pseudo-random N(0,1) draw keyed by strings.
+
+    Used for the per-(workload, rank) idiosyncratic factor so that repeated
+    characterizations of the same workload on the same rank see the same
+    bias — exactly like a real machine would.
+    """
+    key = "|".join(parts)
+    seed = zlib.crc32(key.encode("utf-8"))
+    return float(np.random.default_rng(seed).standard_normal())
+
+
+class StatisticalErrorModel:
+    """Expected and sampled DRAM error metrics for arbitrary operating points."""
+
+    def __init__(
+        self,
+        geometry: Optional[DramGeometry] = None,
+        variation: Optional[VariationProfile] = None,
+        calibration: Optional[DramCalibration] = None,
+        seed: int = 2019,
+    ) -> None:
+        self.geometry = geometry or DramGeometry()
+        self.variation = variation or VariationProfile.default(self.geometry)
+        self.calibration = calibration or DEFAULT_CALIBRATION
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def retention_bit_failure_probability(self, op: OperatingPoint) -> float:
+        """Probability a bit's retention time is below the configured TREFP."""
+        return bit_failure_probability(
+            op.trefp_s, op.temperature_c, op.vdd_v, self.calibration.retention
+        )
+
+    def implicit_refresh_fraction(
+        self, behavior: WorkloadBehavior, op: OperatingPoint
+    ) -> float:
+        """Fraction of footprint words re-accessed within one refresh period.
+
+        Per-word reuse times are modelled as lognormally distributed around
+        the workload's mean ``Treuse`` with a wide spread
+        (``reuse_spread_sigma``); a word whose reuse gap is below TREFP is
+        recharged by the access itself and its retention failures are
+        suppressed.
+        """
+        sigma = self.calibration.workload.reuse_spread_sigma
+        z = (math.log(op.trefp_s) - math.log(behavior.reuse_time_s)) / sigma
+        # Standard normal CDF via erf keeps scipy out of the hot path.
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+    def data_pattern_factor(self, behavior: WorkloadBehavior) -> float:
+        """Vulnerability scaling due to the stored data pattern (entropy)."""
+        cal = self.calibration.workload
+        return cal.entropy_floor + cal.entropy_slope * behavior.data_entropy_bits
+
+    def interference_factor(self, behavior: WorkloadBehavior) -> float:
+        """Disturbance (cell-to-cell interference) term driven by access rate."""
+        cal = self.calibration.workload
+        accesses_per_kcycle = behavior.accesses_per_cycle * 1000.0
+        return cal.interference_per_access_per_kcycle * accesses_per_kcycle
+
+    def _idiosyncratic_factor(self, workload: str, rank: Optional[RankLocation]) -> float:
+        if not workload:
+            return 1.0
+        sigma = self.calibration.workload.idiosyncratic_sigma
+        rank_key = rank.label if rank is not None else "memory"
+        draw = _stable_unit_normal(str(self.seed), workload, rank_key)
+        return math.exp(sigma * draw)
+
+    # ------------------------------------------------------------------
+    # correctable errors (WER)
+    # ------------------------------------------------------------------
+    def word_ce_probability(
+        self, op: OperatingPoint, behavior: WorkloadBehavior
+    ) -> float:
+        """Probability that a 64-bit word manifests a (unique) CE in a run."""
+        cal = self.calibration.workload
+        p_ret = self.retention_bit_failure_probability(op)
+        refresh_fraction = self.implicit_refresh_fraction(behavior, op)
+        suppression = 1.0 - refresh_fraction * (1.0 - cal.implicit_refresh_residual)
+        pattern = self.data_pattern_factor(behavior)
+        interference = self.interference_factor(behavior)
+
+        p_bit = p_ret * pattern * (suppression + interference)
+        p_bit = min(p_bit, 1.0)
+        # Unique CE words: at least one failing data bit (64 bits per word).
+        p_word = 1.0 - (1.0 - p_bit) ** units.WORD_BITS
+        return float(min(p_word, 1.0))
+
+    def expected_rank_wer(
+        self,
+        op: OperatingPoint,
+        behavior: WorkloadBehavior,
+        rank: RankLocation,
+        workload: str = "",
+    ) -> float:
+        """Expected WER on one DIMM/rank (Fig. 8 granularity)."""
+        base = self.word_ce_probability(op, behavior)
+        factor = self.variation.wer_factor(rank)
+        return base * factor * self._idiosyncratic_factor(workload, rank)
+
+    def expected_wer(
+        self, op: OperatingPoint, behavior: WorkloadBehavior, workload: str = ""
+    ) -> float:
+        """Expected memory-wide WER (Eq. 2) averaged over all ranks."""
+        per_rank = [
+            self.expected_rank_wer(op, behavior, rank, workload)
+            for rank in self.geometry.iter_ranks()
+        ]
+        return float(np.mean(per_rank))
+
+    def sample_rank_wer(
+        self,
+        op: OperatingPoint,
+        behavior: WorkloadBehavior,
+        rank: RankLocation,
+        workload: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """One measured per-rank WER, with run-to-run (VRT) noise applied."""
+        generator = rng or np.random.default_rng()
+        expected = self.expected_rank_wer(op, behavior, rank, workload)
+        noise = math.exp(
+            self.calibration.workload.run_to_run_sigma * generator.standard_normal()
+        )
+        return expected * noise
+
+    # ------------------------------------------------------------------
+    # uncorrectable errors (PUE)
+    # ------------------------------------------------------------------
+    def expected_ue_count(
+        self, op: OperatingPoint, behavior: WorkloadBehavior, workload: str = ""
+    ) -> float:
+        """Expected number of detected multi-bit words in one 2-hour run."""
+        cal = self.calibration.workload
+        ue_cal = self.calibration.ue
+        p_ret = self.retention_bit_failure_probability(op)
+        refresh_fraction = self.implicit_refresh_fraction(behavior, op)
+        suppression = 1.0 - refresh_fraction * (1.0 - cal.implicit_refresh_residual)
+        pattern = self.data_pattern_factor(behavior)
+        interference = self.interference_factor(behavior)
+
+        p_bit = min(p_ret * pattern * (suppression + interference), 1.0)
+        pairs = units.WORD_BITS * (units.WORD_BITS - 1) / 2.0
+        clustering = ue_cal.clustering_factor * (
+            op.trefp_s / ue_cal.trefp_reference_s
+        ) ** ue_cal.trefp_exponent
+        clustering *= math.exp(
+            ue_cal.temperature_boost_per_c
+            * (op.temperature_c - ue_cal.temperature_reference_c)
+        )
+        p_word_multi = min(clustering * pairs * p_bit ** 2, 1.0)
+        lam = (
+            p_word_multi
+            * behavior.footprint_words
+            * ue_cal.scrub_coverage
+            * self._idiosyncratic_factor(workload, None)
+        )
+        return float(lam)
+
+    def probability_of_ue(
+        self, op: OperatingPoint, behavior: WorkloadBehavior, workload: str = ""
+    ) -> float:
+        """PUE (Eq. 3): probability that a run triggers at least one UE."""
+        lam = self.expected_ue_count(op, behavior, workload)
+        return float(1.0 - math.exp(-lam))
+
+    def sample_ue_event(
+        self,
+        op: OperatingPoint,
+        behavior: WorkloadBehavior,
+        workload: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> Optional[RankLocation]:
+        """Sample whether a run crashes with a UE and, if so, on which rank."""
+        generator = rng or np.random.default_rng()
+        if generator.random() >= self.probability_of_ue(op, behavior, workload):
+            return None
+        weights = self.variation.normalized_ue_weights()
+        ranks = list(weights.keys())
+        probabilities = np.array([weights[rank] for rank in ranks])
+        index = generator.choice(len(ranks), p=probabilities)
+        return ranks[index]
+
+    # ------------------------------------------------------------------
+    # time behaviour (Fig. 2 / Fig. 4)
+    # ------------------------------------------------------------------
+    def wer_time_series(
+        self,
+        op: OperatingPoint,
+        behavior: WorkloadBehavior,
+        duration_s: float = units.CHARACTERIZATION_DURATION_S,
+        step_s: float = 10 * units.MINUTE,
+        workload: str = "",
+    ) -> Dict[float, float]:
+        """Cumulative WER over a characterization run.
+
+        New error-prone locations are discovered at a decaying rate, so the
+        cumulative unique-CE count saturates; the paper verifies that the
+        last-10-minute change of a 2-hour run is below 3 %.
+        """
+        if duration_s <= 0 or step_s <= 0:
+            raise ConfigurationError("duration_s and step_s must be positive")
+        final = self.expected_wer(op, behavior, workload)
+        tau = self.calibration.convergence_tau_s
+        series: Dict[float, float] = {}
+        t = step_s
+        while t <= duration_s + 1e-9:
+            series[t] = final * (1.0 - math.exp(-t / tau))
+            t += step_s
+        return series

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or an inconsistent configuration was supplied."""
+
+
+class NotFittedError(ReproError):
+    """A model was asked to predict before :meth:`fit` was called."""
+
+
+class DataError(ReproError):
+    """Training or profiling data is malformed (shape/NaN/empty)."""
+
+
+class SimulationError(ReproError):
+    """The DRAM / memory-system simulation reached an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload could not be constructed or executed."""
+
+
+class CharacterizationError(ReproError):
+    """A characterization experiment or campaign failed."""

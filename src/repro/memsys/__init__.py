@@ -1,0 +1,27 @@
+"""Memory-hierarchy substrate: caches, memory controllers, trace simulation."""
+
+from repro.memsys.access import AccessType, MemoryAccess
+from repro.memsys.cache import (
+    CacheConfig,
+    CacheStats,
+    SetAssociativeCache,
+    xgene2_l1_config,
+    xgene2_l2_config,
+)
+from repro.memsys.hierarchy import HierarchyStats, MemoryHierarchy
+from repro.memsys.mcu import MemoryChannelSystem, MemoryControllerUnit, McuStats
+
+__all__ = [
+    "AccessType",
+    "MemoryAccess",
+    "CacheConfig",
+    "CacheStats",
+    "SetAssociativeCache",
+    "xgene2_l1_config",
+    "xgene2_l2_config",
+    "HierarchyStats",
+    "MemoryHierarchy",
+    "MemoryChannelSystem",
+    "MemoryControllerUnit",
+    "McuStats",
+]

@@ -1,0 +1,53 @@
+"""Memory access records emitted by instrumented workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+
+class AccessType(Enum):
+    """Kind of memory operation."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One dynamic memory access of a workload.
+
+    ``instruction_index`` is the position of the access in the dynamic
+    instruction stream — the quantity DynamoRIO gives the paper for the
+    reuse-distance computation (Eq. 4).  ``value`` is the 64-bit data
+    written (for writes), used for the data-entropy estimate (Eq. 5).
+    """
+
+    address: int
+    access_type: AccessType
+    instruction_index: int
+    value: int = 0
+    thread_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ConfigurationError("address must be non-negative")
+        if self.instruction_index < 0:
+            raise ConfigurationError("instruction_index must be non-negative")
+        if self.thread_id < 0:
+            raise ConfigurationError("thread_id must be non-negative")
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type is AccessType.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.access_type is AccessType.READ
+
+    @property
+    def word_address(self) -> int:
+        """Address rounded down to the 64-bit word the access touches."""
+        return self.address & ~0x7

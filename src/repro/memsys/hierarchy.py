@@ -1,0 +1,120 @@
+"""Cache hierarchy + memory channel simulation of an access trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro import units
+from repro.dram.geometry import DramGeometry, RankLocation
+from repro.errors import ConfigurationError
+from repro.memsys.access import MemoryAccess
+from repro.memsys.cache import (
+    CacheConfig,
+    SetAssociativeCache,
+    xgene2_l1_config,
+    xgene2_l2_config,
+)
+from repro.memsys.mcu import MemoryChannelSystem
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics of simulating one workload trace."""
+
+    total_accesses: int = 0
+    read_accesses: int = 0
+    write_accesses: int = 0
+    l1_accesses: int = 0
+    l1_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    writebacks: int = 0
+    per_mcu_reads: Dict[int, int] = field(default_factory=dict)
+    per_mcu_writes: Dict[int, int] = field(default_factory=dict)
+    per_rank_accesses: Dict[RankLocation, int] = field(default_factory=dict)
+
+    @property
+    def dram_accesses(self) -> int:
+        return self.dram_reads + self.dram_writes
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def dram_access_fraction(self) -> float:
+        """Fraction of program memory accesses that reach DRAM."""
+        return self.dram_accesses / self.total_accesses if self.total_accesses else 0.0
+
+
+class MemoryHierarchy:
+    """Two-level cache hierarchy in front of the MCUs.
+
+    Every workload access is filtered through a private L1 (per thread)
+    and a shared L2; L2 misses and dirty writebacks become DRAM commands
+    routed through :class:`MemoryChannelSystem`.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[DramGeometry] = None,
+        l1_config: Optional[CacheConfig] = None,
+        l2_config: Optional[CacheConfig] = None,
+        num_threads: int = 1,
+    ) -> None:
+        if num_threads <= 0:
+            raise ConfigurationError("num_threads must be positive")
+        self.geometry = geometry or DramGeometry()
+        self.num_threads = num_threads
+        self._l1_config = l1_config or xgene2_l1_config()
+        self._l2_config = l2_config or xgene2_l2_config()
+        self.l1_caches = [
+            SetAssociativeCache(self._l1_config, name=f"L1-{t}") for t in range(num_threads)
+        ]
+        self.l2_cache = SetAssociativeCache(self._l2_config, name="L2")
+        self.channels = MemoryChannelSystem(self.geometry)
+
+    def simulate(self, trace: Iterable[MemoryAccess]) -> HierarchyStats:
+        """Run the whole trace through the hierarchy and collect statistics."""
+        stats = HierarchyStats()
+        for access in trace:
+            stats.total_accesses += 1
+            if access.is_write:
+                stats.write_accesses += 1
+            else:
+                stats.read_accesses += 1
+
+            l1 = self.l1_caches[access.thread_id % self.num_threads]
+            stats.l1_accesses += 1
+            if l1.access(access.address, access.is_write):
+                continue
+            stats.l1_misses += 1
+
+            stats.l2_accesses += 1
+            writebacks_before = self.l2_cache.stats.writebacks
+            if self.l2_cache.access(access.address, access.is_write):
+                continue
+            stats.l2_misses += 1
+
+            # L2 miss: fetch the line from DRAM (a read command), and account
+            # a write command for the dirty line this miss may have evicted.
+            self.channels.access(access.address, is_write=False)
+            stats.dram_reads += 1
+            new_writebacks = self.l2_cache.stats.writebacks - writebacks_before
+            if new_writebacks > 0 or (access.is_write and not self._l2_config.write_back):
+                self.channels.access(access.address, is_write=True)
+                stats.dram_writes += 1
+                stats.writebacks += new_writebacks
+
+        for index, mcu_stats in self.channels.per_mcu_commands().items():
+            stats.per_mcu_reads[index] = mcu_stats.read_commands
+            stats.per_mcu_writes[index] = mcu_stats.write_commands
+        stats.per_rank_accesses = dict(self.channels.rank_accesses)
+        return stats

@@ -1,0 +1,98 @@
+"""Memory Controller Unit (MCU) model.
+
+The X-Gene2 has four MCUs, each driving one DIMM.  The MCU model counts
+issued read/write commands per controller and per DIMM/rank — these
+counts are the source of the "issued memory read and write commands per
+cycle in different MCUs" feature group that Fig. 10 finds highly
+correlated with WER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro import units
+from repro.dram.address_map import AddressMapper
+from repro.dram.geometry import CellLocation, DramGeometry, RankLocation
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class McuStats:
+    """Command counters of one MCU."""
+
+    read_commands: int = 0
+    write_commands: int = 0
+
+    @property
+    def total_commands(self) -> int:
+        return self.read_commands + self.write_commands
+
+
+class MemoryControllerUnit:
+    """One memory channel: command accounting for the attached DIMM."""
+
+    def __init__(self, index: int) -> None:
+        if index < 0:
+            raise ConfigurationError("MCU index must be non-negative")
+        self.index = index
+        self.stats = McuStats()
+
+    def issue(self, is_write: bool) -> None:
+        if is_write:
+            self.stats.write_commands += 1
+        else:
+            self.stats.read_commands += 1
+
+    def reset(self) -> None:
+        self.stats = McuStats()
+
+
+class MemoryChannelSystem:
+    """All MCUs plus the address mapping onto DIMMs/ranks.
+
+    Every DRAM access (an L2 miss or a writeback) is routed to the MCU
+    owning the target DIMM and accounted per DIMM/rank, which later feeds
+    both the per-MCU features and the per-rank access-rate input of the
+    interference model.
+    """
+
+    def __init__(
+        self,
+        geometry: DramGeometry = None,
+        num_mcus: int = units.NUM_MCUS,
+    ) -> None:
+        if num_mcus <= 0:
+            raise ConfigurationError("num_mcus must be positive")
+        self.geometry = geometry or DramGeometry()
+        if self.geometry.num_dimms % num_mcus != 0:
+            raise ConfigurationError("num_dimms must be divisible by num_mcus")
+        self.num_mcus = num_mcus
+        self.mcus = [MemoryControllerUnit(i) for i in range(num_mcus)]
+        self.mapper = AddressMapper(self.geometry)
+        self.rank_accesses: Dict[RankLocation, int] = {
+            rank: 0 for rank in self.geometry.iter_ranks()
+        }
+
+    def mcu_for_dimm(self, dimm: int) -> MemoryControllerUnit:
+        return self.mcus[dimm % self.num_mcus]
+
+    def access(self, address: int, is_write: bool) -> CellLocation:
+        """Route one DRAM access; returns the DRAM coordinates it hit."""
+        location = self.mapper.map_address(address)
+        self.mcu_for_dimm(location.dimm).issue(is_write)
+        self.rank_accesses[location.rank_location] += 1
+        return location
+
+    def total_commands(self) -> int:
+        return sum(mcu.stats.total_commands for mcu in self.mcus)
+
+    def per_mcu_commands(self) -> Dict[int, McuStats]:
+        return {mcu.index: mcu.stats for mcu in self.mcus}
+
+    def reset(self) -> None:
+        for mcu in self.mcus:
+            mcu.reset()
+        for rank in self.rank_accesses:
+            self.rank_accesses[rank] = 0

@@ -1,0 +1,130 @@
+"""Estimator protocol shared by all models in :mod:`repro.ml`.
+
+The interface intentionally mirrors the small subset of the scikit-learn
+API that the paper relies on (``fit`` / ``predict`` / ``get_params``),
+so the higher-level code in :mod:`repro.core` reads like the original
+experiments even though every estimator here is implemented from
+scratch on top of numpy.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DataError, NotFittedError
+
+ArrayLike = Any
+
+
+def as_2d_array(X: ArrayLike, name: str = "X") -> np.ndarray:
+    """Validate and convert ``X`` to a 2-D float array of samples x features."""
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise DataError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise DataError(f"{name} must not be empty, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise DataError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def as_1d_array(y: ArrayLike, name: str = "y") -> np.ndarray:
+    """Validate and convert ``y`` to a 1-D float array."""
+    arr = np.asarray(y, dtype=float)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    if arr.shape[0] == 0:
+        raise DataError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise DataError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_consistent_length(X: np.ndarray, y: np.ndarray) -> None:
+    """Raise :class:`DataError` when ``X`` and ``y`` disagree on sample count."""
+    if X.shape[0] != y.shape[0]:
+        raise DataError(
+            f"X and y have inconsistent sample counts: {X.shape[0]} != {y.shape[0]}"
+        )
+
+
+class Estimator:
+    """Base class providing parameter introspection and cloning."""
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return the constructor parameters of this estimator."""
+        params = {}
+        for key, value in vars(self).items():
+            if not key.endswith("_") and not key.startswith("_"):
+                params[key] = value
+        return params
+
+    def set_params(self, **params: Any) -> "Estimator":
+        """Set constructor parameters; unknown names raise ``ValueError``."""
+        valid = self.get_params()
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(f"Unknown parameter {key!r} for {type(self).__name__}")
+            setattr(self, key, value)
+        return self
+
+    def clone(self) -> "Estimator":
+        """Return an unfitted copy with identical constructor parameters."""
+        new = type(self)(**copy.deepcopy(self.get_params()))
+        return new
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+class Regressor(Estimator):
+    """Base class for regressors: defines the fit/predict contract."""
+
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "Regressor":
+        raise NotImplementedError
+
+    def predict(self, X: ArrayLike) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before calling predict()"
+            )
+
+    def score(self, X: ArrayLike, y: ArrayLike) -> float:
+        """Coefficient of determination R^2 on the given data."""
+        y_true = as_1d_array(y)
+        y_pred = self.predict(X)
+        ss_res = float(np.sum((y_true - y_pred) ** 2))
+        ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+        if ss_tot == 0.0:
+            return 0.0 if ss_res > 0 else 1.0
+        return 1.0 - ss_res / ss_tot
+
+
+class Transformer(Estimator):
+    """Base class for transformers (scalers, selectors)."""
+
+    def fit(self, X: ArrayLike, y: Optional[ArrayLike] = None) -> "Transformer":
+        raise NotImplementedError
+
+    def transform(self, X: ArrayLike) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, X: ArrayLike, y: Optional[ArrayLike] = None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+
+def validate_fit_args(X: ArrayLike, y: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Common validation used by every regressor's ``fit``."""
+    X_arr = as_2d_array(X)
+    y_arr = as_1d_array(y)
+    check_consistent_length(X_arr, y_arr)
+    return X_arr, y_arr

@@ -1,0 +1,100 @@
+"""Cross-validation splitters.
+
+The paper evaluates model accuracy with leave-one-*workload*-out
+cross-validation (Fig. 3, "Validation process"): for every benchmark, the
+test set is the samples of that benchmark and the training set is every
+other sample.  That corresponds to a leave-one-group-out splitter where
+the group label is the workload name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+
+
+class LeaveOneGroupOut:
+    """Yield (train_indices, test_indices) pairs, one per distinct group."""
+
+    def split(
+        self, X: Sequence, groups: Sequence
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        groups_arr = np.asarray(groups)
+        n_samples = len(X)
+        if groups_arr.shape[0] != n_samples:
+            raise DataError("groups must have one entry per sample")
+        unique_groups = np.unique(groups_arr)
+        if unique_groups.shape[0] < 2:
+            raise DataError("LeaveOneGroupOut requires at least 2 distinct groups")
+        indices = np.arange(n_samples)
+        for group in unique_groups:
+            test_mask = groups_arr == group
+            yield indices[~test_mask], indices[test_mask]
+
+    def get_n_splits(self, groups: Sequence) -> int:
+        return int(np.unique(np.asarray(groups)).shape[0])
+
+
+class KFold:
+    """Standard K-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state=None) -> None:
+        if n_splits < 2:
+            raise ConfigurationError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X: Sequence) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n_samples = len(X)
+        if n_samples < self.n_splits:
+            raise DataError(
+                f"Cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+    def get_n_splits(self) -> int:
+        return self.n_splits
+
+
+def cross_val_predict_groups(estimator, X, y, groups) -> np.ndarray:
+    """Out-of-fold predictions under leave-one-group-out CV.
+
+    Every sample is predicted by a model that never saw any sample from the
+    same group, exactly reproducing the paper's validation protocol.
+    """
+    X_arr = np.asarray(X, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    predictions = np.empty_like(y_arr)
+    splitter = LeaveOneGroupOut()
+    for train_idx, test_idx in splitter.split(X_arr, groups):
+        model = estimator.clone()
+        model.fit(X_arr[train_idx], y_arr[train_idx])
+        predictions[test_idx] = model.predict(X_arr[test_idx])
+    return predictions
+
+
+def group_scores(y_true, y_pred, groups, metric) -> List[Tuple[str, float]]:
+    """Apply ``metric`` per group and return ``[(group, score), ...]``."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    groups_arr = np.asarray(groups)
+    results = []
+    for group in np.unique(groups_arr):
+        mask = groups_arr == group
+        results.append((str(group), float(metric(y_true[mask], y_pred[mask]))))
+    return results

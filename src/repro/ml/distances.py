@@ -1,0 +1,54 @@
+"""Distance functions used by the KNN models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def euclidean_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances between rows of ``A`` and rows of ``B``.
+
+    Uses the expanded ``|a-b|^2 = |a|^2 + |b|^2 - 2 a.b`` form so the whole
+    matrix is computed with one matrix multiply.
+    """
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    a_sq = np.sum(A * A, axis=1)[:, None]
+    b_sq = np.sum(B * B, axis=1)[None, :]
+    sq = a_sq + b_sq - 2.0 * (A @ B.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq)
+
+
+def manhattan_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Pairwise L1 distances between rows of ``A`` and rows of ``B``."""
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    return np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+
+
+def chebyshev_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Pairwise L-infinity distances between rows of ``A`` and rows of ``B``."""
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    return np.abs(A[:, None, :] - B[None, :, :]).max(axis=2)
+
+
+_METRICS = {
+    "euclidean": euclidean_distances,
+    "manhattan": manhattan_distances,
+    "chebyshev": chebyshev_distances,
+}
+
+
+def pairwise_distances(A: np.ndarray, B: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Dispatch to one of the supported distance metrics by name."""
+    try:
+        func = _METRICS[metric]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown distance metric {metric!r}; choose from {sorted(_METRICS)}"
+        ) from None
+    return func(A, B)

@@ -1,0 +1,201 @@
+"""CART regression trees.
+
+The trees are the building block of the Random Decision Forest model
+(RDF in the paper).  Splitting criterion is variance reduction (MSE);
+the implementation supports feature sub-sampling at every split so the
+forest can decorrelate its members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.base import ArrayLike, Regressor, as_2d_array, validate_fit_args
+
+
+@dataclass
+class _Node:
+    """A single node of a regression tree."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+):
+    """Find the (feature, threshold) split minimising weighted child variance.
+
+    Returns ``(feature, threshold, gain)`` or ``None`` when no valid split
+    exists.  Uses cumulative-sum statistics over the sorted column so each
+    feature is scanned in O(n log n).
+    """
+    n = y.shape[0]
+    total_sum = y.sum()
+    total_sq = (y ** 2).sum()
+    parent_impurity = total_sq / n - (total_sum / n) ** 2
+
+    best = None
+    best_gain = 1e-12   # require strictly positive gain
+    for feature in feature_indices:
+        column = X[:, feature]
+        order = np.argsort(column, kind="mergesort")
+        col_sorted = column[order]
+        y_sorted = y[order]
+
+        cum_sum = np.cumsum(y_sorted)
+        cum_sq = np.cumsum(y_sorted ** 2)
+
+        # candidate split after position i (left = [0..i], right = [i+1..n-1])
+        left_counts = np.arange(1, n)
+        right_counts = n - left_counts
+
+        valid = (
+            (left_counts >= min_samples_leaf)
+            & (right_counts >= min_samples_leaf)
+            & (col_sorted[:-1] < col_sorted[1:])   # only between distinct values
+        )
+        if not np.any(valid):
+            continue
+
+        left_sum = cum_sum[:-1]
+        left_sq = cum_sq[:-1]
+        right_sum = total_sum - left_sum
+        right_sq = total_sq - left_sq
+
+        left_var = left_sq / left_counts - (left_sum / left_counts) ** 2
+        right_var = right_sq / right_counts - (right_sum / right_counts) ** 2
+        weighted = (left_counts * left_var + right_counts * right_var) / n
+        gain = parent_impurity - weighted
+        gain[~valid] = -np.inf
+
+        idx = int(np.argmax(gain))
+        if gain[idx] > best_gain:
+            best_gain = float(gain[idx])
+            threshold = 0.5 * (col_sorted[idx] + col_sorted[idx + 1])
+            best = (int(feature), float(threshold), best_gain)
+
+    return best
+
+
+class DecisionTreeRegressor(Regressor):
+    """CART regression tree with MSE splitting."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[float] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ConfigurationError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ConfigurationError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def _n_split_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if isinstance(self.max_features, str):
+            if self.max_features == "sqrt":
+                return max(1, int(np.sqrt(n_features)))
+            if self.max_features == "log2":
+                return max(1, int(np.log2(n_features)))
+            raise ConfigurationError(f"Unknown max_features {self.max_features!r}")
+        if isinstance(self.max_features, float):
+            return max(1, int(self.max_features * n_features))
+        return max(1, min(int(self.max_features), n_features))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator) -> _Node:
+        node = _Node(prediction=float(np.mean(y)))
+        n_samples, n_features = X.shape
+
+        if (
+            n_samples < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.all(y == y[0])
+        ):
+            return node
+
+        n_split_features = self._n_split_features(n_features)
+        if n_split_features < n_features:
+            feature_indices = rng.choice(n_features, size=n_split_features, replace=False)
+        else:
+            feature_indices = np.arange(n_features)
+
+        split = _best_split(X, y, feature_indices, self.min_samples_leaf)
+        if split is None:
+            return node
+
+        feature, threshold, _gain = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "DecisionTreeRegressor":
+        X_arr, y_arr = validate_fit_args(X, y)
+        rng = np.random.default_rng(self.random_state)
+        self.n_features_ = X_arr.shape[1]
+        self.root_ = self._build(X_arr, y_arr, depth=0, rng=rng)
+        return self
+
+    def _predict_one(self, x: np.ndarray) -> float:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict(self, X: ArrayLike) -> np.ndarray:
+        self._check_fitted("root_")
+        X_arr = as_2d_array(X)
+        if X_arr.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X_arr.shape[1]} features, tree was fitted with {self.n_features_}"
+            )
+        return np.array([self._predict_one(row) for row in X_arr])
+
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree (0 for a single leaf)."""
+        self._check_fitted("root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    def node_count(self) -> int:
+        """Total number of nodes (internal + leaves) in the fitted tree."""
+        self._check_fitted("root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + walk(node.left) + walk(node.right)
+
+        return walk(self.root_)

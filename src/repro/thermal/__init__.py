@@ -1,0 +1,13 @@
+"""Thermal testbed substrate: heaters, thermocouples, PID control."""
+
+from repro.thermal.pid import PidController, PidGains
+from repro.thermal.testbed import HeaterPlant, ThermalChannel, ThermalTestbed, Thermocouple
+
+__all__ = [
+    "PidController",
+    "PidGains",
+    "HeaterPlant",
+    "ThermalChannel",
+    "ThermalTestbed",
+    "Thermocouple",
+]

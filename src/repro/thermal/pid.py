@@ -1,0 +1,65 @@
+"""Discrete PID controller, as used by the DIMM heater control loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PidGains:
+    """Proportional / integral / derivative gains."""
+
+    kp: float = 4.0
+    ki: float = 0.25
+    kd: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ConfigurationError("PID gains must be non-negative")
+
+
+class PidController:
+    """Textbook positional PID with output clamping and anti-windup."""
+
+    def __init__(
+        self,
+        gains: PidGains = None,
+        setpoint: float = 50.0,
+        output_min: float = 0.0,
+        output_max: float = 100.0,
+    ) -> None:
+        if output_min >= output_max:
+            raise ConfigurationError("output_min must be below output_max")
+        self.gains = gains or PidGains()
+        self.setpoint = setpoint
+        self.output_min = output_min
+        self.output_max = output_max
+        self._integral = 0.0
+        self._previous_error: float = None
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._previous_error = None
+
+    def update(self, measurement: float, dt_s: float) -> float:
+        """One control step; returns the clamped actuator command."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        error = self.setpoint - measurement
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = (error - self._previous_error) / dt_s
+        self._previous_error = error
+
+        candidate_integral = self._integral + error * dt_s
+        output = (
+            self.gains.kp * error
+            + self.gains.ki * candidate_integral
+            + self.gains.kd * derivative
+        )
+        # Anti-windup: only accumulate the integral while not saturated.
+        if self.output_min < output < self.output_max:
+            self._integral = candidate_integral
+        return float(min(max(output, self.output_min), self.output_max))

@@ -1,0 +1,59 @@
+"""Instrumented miniature implementations of the paper's benchmarks."""
+
+from repro.workloads.analytics import (
+    BetweennessCentralityWorkload,
+    BfsWorkload,
+    PagerankWorkload,
+)
+from repro.workloads.base import (
+    InstrumentedArray,
+    TraceRecorder,
+    Workload,
+    WorkloadMetadata,
+    float_to_word,
+)
+from repro.workloads.caching import MemcachedWorkload
+from repro.workloads.compute import (
+    BackpropWorkload,
+    FmmWorkload,
+    KmeansWorkload,
+    NeedlemanWunschWorkload,
+    SradWorkload,
+)
+from repro.workloads.lulesh import LuleshWorkload
+from repro.workloads.micro import DataPatternWorkload, random_data_pattern, solid_data_pattern
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    CAMPAIGN_WORKLOADS,
+    EXTRA_WORKLOADS,
+    available_workloads,
+    campaign_workload_names,
+    create_workload,
+)
+
+__all__ = [
+    "BetweennessCentralityWorkload",
+    "BfsWorkload",
+    "PagerankWorkload",
+    "InstrumentedArray",
+    "TraceRecorder",
+    "Workload",
+    "WorkloadMetadata",
+    "float_to_word",
+    "MemcachedWorkload",
+    "BackpropWorkload",
+    "FmmWorkload",
+    "KmeansWorkload",
+    "NeedlemanWunschWorkload",
+    "SradWorkload",
+    "LuleshWorkload",
+    "DataPatternWorkload",
+    "random_data_pattern",
+    "solid_data_pattern",
+    "ALL_WORKLOADS",
+    "CAMPAIGN_WORKLOADS",
+    "EXTRA_WORKLOADS",
+    "available_workloads",
+    "campaign_workload_names",
+    "create_workload",
+]

@@ -1,0 +1,201 @@
+"""Graph-analytics benchmarks: pagerank, bfs and betweenness centrality.
+
+The paper runs these with the Ligra/GraphGrind frameworks on 8 GB
+inputs; here they operate on synthetic scale-free graphs (generated with
+networkx) stored in instrumented CSR arrays, so the access trace has the
+irregular, index-chasing character of real graph analytics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.workloads.base import TraceRecorder, Workload
+
+
+def _build_csr(graph: nx.Graph) -> Tuple[List[int], List[int]]:
+    """Row-pointer / column-index CSR arrays of an undirected graph."""
+    nodes = sorted(graph.nodes())
+    index_of = {node: i for i, node in enumerate(nodes)}
+    row_ptr = [0]
+    col_idx: List[int] = []
+    for node in nodes:
+        neighbours = sorted(index_of[n] for n in graph.neighbors(node))
+        col_idx.extend(neighbours)
+        row_ptr.append(len(col_idx))
+    return row_ptr, col_idx
+
+
+class _GraphWorkload(Workload):
+    """Shared CSR setup for the graph benchmarks."""
+
+    suite = "graph"
+    suffix_parallel = False   #: always run with 8 threads under their plain name
+
+    def __init__(self, threads: int = 1, seed: int = 23, nodes: int = 320,
+                 attach_edges: int = 3, **kwargs) -> None:
+        super().__init__(threads=threads, seed=seed, **kwargs)
+        self.nodes = nodes
+        self.attach_edges = attach_edges
+
+    def _load_graph(self, recorder: TraceRecorder):
+        """Generate the graph and store it into instrumented CSR arrays."""
+        graph = nx.barabasi_albert_graph(self.nodes, self.attach_edges, seed=self.seed)
+        row_ptr, col_idx = _build_csr(graph)
+
+        row_array = recorder.alloc(len(row_ptr), "row_ptr")
+        col_array = recorder.alloc(max(len(col_idx), 1), "col_idx")
+        for i, value in enumerate(row_ptr):
+            row_array.write(i, float(value))
+        for i, value in enumerate(col_idx):
+            col_array.write(i, float(value))
+        return row_array, col_array
+
+    def _neighbors(self, row_array, col_array, node: int, thread: int) -> List[int]:
+        start = int(row_array.read(node, thread))
+        end = int(row_array.read(node + 1, thread))
+        return [int(col_array.read(i, thread)) for i in range(start, end)]
+
+
+class PagerankWorkload(_GraphWorkload):
+    """Power-iteration PageRank."""
+
+    name = "pagerank"
+    description = "Push-style PageRank power iterations over a scale-free graph"
+
+    def __init__(self, threads: int = 8, iterations: int = 4, damping: float = 0.85,
+                 **kwargs) -> None:
+        super().__init__(threads=threads, **kwargs)
+        self.iterations = iterations
+        self.damping = damping
+
+    def run(self, recorder: TraceRecorder) -> None:
+        row_array, col_array = self._load_graph(recorder)
+        ranks = recorder.alloc(self.nodes, "ranks")
+        new_ranks = recorder.alloc(self.nodes, "new_ranks")
+        degrees = recorder.alloc(self.nodes, "degrees")
+
+        for node in range(self.nodes):
+            ranks.write(node, 1.0 / self.nodes)
+            start = int(row_array.read(node))
+            end = int(row_array.read(node + 1))
+            degrees.write(node, float(max(end - start, 1)))
+            recorder.compute(3)
+
+        for _iteration in range(self.iterations):
+            for node in range(self.nodes):
+                new_ranks.write(node, (1.0 - self.damping) / self.nodes)
+            schedule = self.interleaved_schedule(self.nodes)
+            for node, thread in schedule:
+                contribution = self.damping * ranks.read(node, thread) / \
+                    degrees.read(node, thread)
+                recorder.compute(3)
+                for neighbour in self._neighbors(row_array, col_array, node, thread):
+                    new_ranks.write(neighbour,
+                                    new_ranks.read(neighbour, thread) + contribution,
+                                    thread)
+                    recorder.compute(2)
+            for node in range(self.nodes):
+                ranks.write(node, new_ranks.read(node))
+            if self.threads > 1:
+                recorder.compute(100 * self.threads)
+
+
+class BfsWorkload(_GraphWorkload):
+    """Breadth-first search from a single source."""
+
+    name = "bfs"
+    description = "Level-synchronous BFS over a scale-free graph"
+
+    def __init__(self, threads: int = 8, **kwargs) -> None:
+        super().__init__(threads=threads, **kwargs)
+
+    def run(self, recorder: TraceRecorder) -> None:
+        row_array, col_array = self._load_graph(recorder)
+        distances = recorder.alloc(self.nodes, "distances")
+        for node in range(self.nodes):
+            distances.write(node, -1.0)
+
+        distances.write(0, 0.0)
+        frontier = [0]
+        level = 0
+        while frontier:
+            next_frontier: List[int] = []
+            schedule = self.interleaved_schedule(len(frontier))
+            for index, thread in schedule:
+                node = frontier[index]
+                for neighbour in self._neighbors(row_array, col_array, node, thread):
+                    if distances.read(neighbour, thread) < 0.0:
+                        distances.write(neighbour, float(level + 1), thread)
+                        next_frontier.append(neighbour)
+                    recorder.compute(2)
+            frontier = next_frontier
+            level += 1
+            if self.threads > 1:
+                recorder.compute(60 * self.threads)
+
+
+class BetweennessCentralityWorkload(_GraphWorkload):
+    """Brandes betweenness centrality from a sample of source vertices."""
+
+    name = "bc"
+    description = "Brandes BC accumulation from sampled sources"
+
+    def __init__(self, threads: int = 8, sources: int = 5, **kwargs) -> None:
+        kwargs.setdefault("nodes", 220)
+        super().__init__(threads=threads, **kwargs)
+        self.sources = sources
+
+    def run(self, recorder: TraceRecorder) -> None:
+        row_array, col_array = self._load_graph(recorder)
+        centrality = recorder.alloc(self.nodes, "centrality")
+        sigma = recorder.alloc(self.nodes, "sigma")
+        distance = recorder.alloc(self.nodes, "distance")
+        delta = recorder.alloc(self.nodes, "delta")
+
+        for node in range(self.nodes):
+            centrality.write(node, 0.0)
+
+        source_nodes = list(range(0, self.nodes, max(1, self.nodes // self.sources)))[: self.sources]
+        schedule = self.interleaved_schedule(len(source_nodes))
+        for source_index, thread in schedule:
+            source = source_nodes[source_index]
+            stack: List[int] = []
+            predecessors: List[List[int]] = [[] for _ in range(self.nodes)]
+            for node in range(self.nodes):
+                sigma.write(node, 0.0, thread)
+                distance.write(node, -1.0, thread)
+                delta.write(node, 0.0, thread)
+            sigma.write(source, 1.0, thread)
+            distance.write(source, 0.0, thread)
+
+            queue = deque([source])
+            while queue:
+                node = queue.popleft()
+                stack.append(node)
+                node_distance = distance.read(node, thread)
+                node_sigma = sigma.read(node, thread)
+                for neighbour in self._neighbors(row_array, col_array, node, thread):
+                    if distance.read(neighbour, thread) < 0.0:
+                        distance.write(neighbour, node_distance + 1.0, thread)
+                        queue.append(neighbour)
+                    if distance.read(neighbour, thread) == node_distance + 1.0:
+                        sigma.write(neighbour, sigma.read(neighbour, thread) + node_sigma,
+                                    thread)
+                        predecessors[neighbour].append(node)
+                    recorder.compute(4)
+
+            while stack:
+                node = stack.pop()
+                for predecessor in predecessors[node]:
+                    share = (sigma.read(predecessor, thread) /
+                             max(sigma.read(node, thread), 1.0)) * \
+                        (1.0 + delta.read(node, thread))
+                    delta.write(predecessor, delta.read(predecessor, thread) + share, thread)
+                    recorder.compute(4)
+                if node != source:
+                    centrality.write(node, centrality.read(node, thread) +
+                                     delta.read(node, thread), thread)

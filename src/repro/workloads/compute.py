@@ -1,0 +1,341 @@
+"""Compute-intensive benchmarks (Rodinia / Parsec miniatures).
+
+Each class re-implements the algorithmic core of the original benchmark
+on instrumented arrays: ``backprop`` (neural-network training), ``kmeans``
+(clustering), ``nw`` (Needleman-Wunsch sequence alignment), ``srad``
+(speckle-reducing anisotropic diffusion stencil) and ``fmm`` (an
+N-body solver with a far-field cell approximation).  Every benchmark has
+a single-threaded and an 8-thread ``(par)`` variant, selected through the
+``threads`` constructor argument exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import TraceRecorder, Workload
+
+
+class BackpropWorkload(Workload):
+    """Two-layer perceptron training (Rodinia ``backprop``)."""
+
+    name = "backprop"
+    suite = "rodinia"
+    description = "MLP forward/backward passes over a synthetic data set"
+
+    def __init__(self, threads: int = 1, seed: int = 7,
+                 input_size: int = 12, hidden_size: int = 16,
+                 samples: int = 28, epochs: int = 2, **kwargs) -> None:
+        super().__init__(threads=threads, seed=seed, **kwargs)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.samples = samples
+        self.epochs = epochs
+
+    def run(self, recorder: TraceRecorder) -> None:
+        rng = self._rng
+        inputs = recorder.alloc(self.samples * self.input_size, "inputs")
+        targets = recorder.alloc(self.samples, "targets")
+        w_hidden = recorder.alloc(self.input_size * self.hidden_size, "w_hidden")
+        w_out = recorder.alloc(self.hidden_size, "w_out")
+        hidden = recorder.alloc(self.samples * self.hidden_size, "hidden")
+
+        # Initialisation phase (data set + weights).
+        for i in range(self.samples * self.input_size):
+            inputs.write(i, rng.normal())
+            recorder.compute(2)
+        for i in range(self.samples):
+            targets.write(i, rng.random())
+        for i in range(self.input_size * self.hidden_size):
+            w_hidden.write(i, rng.normal() * 0.1)
+        for i in range(self.hidden_size):
+            w_out.write(i, rng.normal() * 0.1)
+
+        learning_rate = 0.05
+        for _epoch in range(self.epochs):
+            schedule = self.interleaved_schedule(self.samples)
+            for sample, thread in schedule:
+                # Forward pass: hidden = sigmoid(W_h . x)
+                for h in range(self.hidden_size):
+                    acc = 0.0
+                    for i in range(self.input_size):
+                        acc += (
+                            inputs.read(sample * self.input_size + i, thread)
+                            * w_hidden.read(i * self.hidden_size + h, thread)
+                        )
+                        recorder.compute(2)
+                    activation = 1.0 / (1.0 + math.exp(-max(min(acc, 30.0), -30.0)))
+                    hidden.write(sample * self.hidden_size + h, activation, thread)
+                    recorder.compute(4)
+                # Output + backward pass on the output layer.
+                output = 0.0
+                for h in range(self.hidden_size):
+                    output += hidden.read(sample * self.hidden_size + h, thread) * \
+                        w_out.read(h, thread)
+                    recorder.compute(2)
+                error = targets.read(sample, thread) - output
+                recorder.compute(3)
+                for h in range(self.hidden_size):
+                    gradient = error * hidden.read(sample * self.hidden_size + h, thread)
+                    w_out.write(h, w_out.read(h, thread) + learning_rate * gradient, thread)
+                    recorder.compute(4)
+
+
+class KmeansWorkload(Workload):
+    """K-means clustering (Rodinia ``kmeans``)."""
+
+    name = "kmeans"
+    suite = "rodinia"
+    description = "Lloyd iterations over a synthetic point cloud"
+
+    def __init__(self, threads: int = 1, seed: int = 11,
+                 points: int = 360, dims: int = 4, clusters: int = 5,
+                 iterations: int = 3, **kwargs) -> None:
+        super().__init__(threads=threads, seed=seed, **kwargs)
+        self.points = points
+        self.dims = dims
+        self.clusters = clusters
+        self.iterations = iterations
+
+    def run(self, recorder: TraceRecorder) -> None:
+        rng = self._rng
+        data = recorder.alloc(self.points * self.dims, "points")
+        centroids = recorder.alloc(self.clusters * self.dims, "centroids")
+        assignments = recorder.alloc(self.points, "assignments")
+        sums = recorder.alloc(self.clusters * self.dims, "sums")
+        counts = recorder.alloc(self.clusters, "counts")
+
+        for i in range(self.points * self.dims):
+            data.write(i, rng.normal())
+        for i in range(self.clusters * self.dims):
+            centroids.write(i, rng.normal())
+
+        for _iteration in range(self.iterations):
+            for i in range(self.clusters * self.dims):
+                sums.write(i, 0.0)
+            for c in range(self.clusters):
+                counts.write(c, 0.0)
+
+            schedule = self.interleaved_schedule(self.points)
+            for point, thread in schedule:
+                best_cluster = 0
+                best_distance = float("inf")
+                for c in range(self.clusters):
+                    distance = 0.0
+                    for d in range(self.dims):
+                        diff = data.read(point * self.dims + d, thread) - \
+                            centroids.read(c * self.dims + d, thread)
+                        distance += diff * diff
+                        recorder.compute(3)
+                    if distance < best_distance:
+                        best_distance = distance
+                        best_cluster = c
+                    recorder.compute(2)
+                assignments.write(point, float(best_cluster), thread)
+                counts.write(best_cluster, counts.read(best_cluster, thread) + 1.0, thread)
+                for d in range(self.dims):
+                    index = best_cluster * self.dims + d
+                    sums.write(index, sums.read(index, thread) +
+                               data.read(point * self.dims + d, thread), thread)
+                    recorder.compute(1)
+
+            # Centroid update (done by one thread after a barrier).
+            recorder.compute(200 * self.threads)   # barrier / reduction overhead
+            for c in range(self.clusters):
+                count = max(counts.read(c), 1.0)
+                for d in range(self.dims):
+                    index = c * self.dims + d
+                    centroids.write(index, sums.read(index) / count)
+                    recorder.compute(2)
+
+
+class NeedlemanWunschWorkload(Workload):
+    """Needleman-Wunsch dynamic-programming alignment (Rodinia ``nw``)."""
+
+    name = "nw"
+    suite = "rodinia"
+    description = "DP matrix fill for global sequence alignment"
+
+    def __init__(self, threads: int = 1, seed: int = 13, length: int = 88,
+                 gap_penalty: float = 2.0, **kwargs) -> None:
+        super().__init__(threads=threads, seed=seed, **kwargs)
+        self.length = length
+        self.gap_penalty = gap_penalty
+
+    def run(self, recorder: TraceRecorder) -> None:
+        rng = self._rng
+        n = self.length
+        seq_a = recorder.alloc(n, "seq_a")
+        seq_b = recorder.alloc(n, "seq_b")
+        matrix = recorder.alloc((n + 1) * (n + 1), "dp_matrix")
+        reference = recorder.alloc((n + 1) * (n + 1), "reference")
+
+        # Rodinia's nw fills both the similarity (reference) matrix and the DP
+        # matrix with initial values before the wavefront starts; the long gap
+        # between this initialisation and the later use of each cell is what
+        # gives nw the largest average DRAM reuse time of the suite (Table II).
+        for i in range(n):
+            seq_a.write(i, float(rng.integers(0, 4)))
+            seq_b.write(i, float(rng.integers(0, 4)))
+        for i in range((n + 1) * (n + 1)):
+            reference.write(i, float(rng.integers(-2, 3)))
+            matrix.write(i, 0.0)
+            recorder.compute(1)
+        for i in range(n + 1):
+            matrix.write(i * (n + 1), -self.gap_penalty * i)
+            matrix.write(i, -self.gap_penalty * i)
+
+        # Anti-diagonal wavefront: the unit of parallel work in Rodinia's nw.
+        for diagonal in range(2, 2 * n + 1):
+            cells = [
+                (i, diagonal - i)
+                for i in range(max(1, diagonal - n), min(n, diagonal - 1) + 1)
+            ]
+            schedule = self.interleaved_schedule(len(cells)) if self.threads > 1 else \
+                [(k, 0) for k in range(len(cells))]
+            for cell_index, thread in schedule:
+                i, j = cells[cell_index]
+                match = 1.0 if seq_a.read(i - 1, thread) == seq_b.read(j - 1, thread) else -1.0
+                match += reference.read(i * (n + 1) + j, thread)
+                recorder.compute(2)
+                diag = matrix.read((i - 1) * (n + 1) + (j - 1), thread) + match
+                up = matrix.read((i - 1) * (n + 1) + j, thread) - self.gap_penalty
+                left = matrix.read(i * (n + 1) + (j - 1), thread) - self.gap_penalty
+                matrix.write(i * (n + 1) + j, max(diag, up, left), thread)
+                recorder.compute(4)
+            if self.threads > 1:
+                recorder.compute(50 * self.threads)   # wavefront barrier
+
+
+class SradWorkload(Workload):
+    """Speckle-reducing anisotropic diffusion stencil (Rodinia ``srad``)."""
+
+    name = "srad"
+    suite = "rodinia"
+    description = "Iterative 4-point diffusion stencil over a 2-D image"
+
+    def __init__(self, threads: int = 1, seed: int = 17, rows: int = 44,
+                 cols: int = 44, iterations: int = 3, lam: float = 0.5, **kwargs) -> None:
+        super().__init__(threads=threads, seed=seed, **kwargs)
+        self.rows = rows
+        self.cols = cols
+        self.iterations = iterations
+        self.lam = lam
+
+    def run(self, recorder: TraceRecorder) -> None:
+        rng = self._rng
+        image = recorder.alloc(self.rows * self.cols, "image")
+        coefficients = recorder.alloc(self.rows * self.cols, "coefficients")
+
+        for i in range(self.rows * self.cols):
+            image.write(i, abs(rng.normal()) + 1.0)
+
+        for _iteration in range(self.iterations):
+            schedule = self.interleaved_schedule(self.rows)
+            for row, thread in schedule:
+                for col in range(self.cols):
+                    index = row * self.cols + col
+                    center = image.read(index, thread)
+                    north = image.read(max(row - 1, 0) * self.cols + col, thread)
+                    south = image.read(min(row + 1, self.rows - 1) * self.cols + col, thread)
+                    west = image.read(row * self.cols + max(col - 1, 0), thread)
+                    east = image.read(row * self.cols + min(col + 1, self.cols - 1), thread)
+                    gradient = (north + south + west + east) - 4.0 * center
+                    coefficient = 1.0 / (1.0 + abs(gradient) / max(center, 1e-6))
+                    coefficients.write(index, coefficient, thread)
+                    recorder.compute(8)
+            schedule = self.interleaved_schedule(self.rows)
+            for row, thread in schedule:
+                for col in range(self.cols):
+                    index = row * self.cols + col
+                    update = coefficients.read(index, thread) * self.lam
+                    image.write(index, image.read(index, thread) * (1.0 - 0.1 * update), thread)
+                    recorder.compute(4)
+            if self.threads > 1:
+                recorder.compute(50 * self.threads)   # per-iteration barrier
+
+
+class FmmWorkload(Workload):
+    """N-body solver with a far-field cell approximation (Parsec ``fmm``)."""
+
+    name = "fmm"
+    suite = "parsec"
+    description = "Particle-particle near field plus particle-cell far field"
+
+    def __init__(self, threads: int = 1, seed: int = 19, particles: int = 176,
+                 grid: int = 6, steps: int = 2, **kwargs) -> None:
+        super().__init__(threads=threads, seed=seed, **kwargs)
+        self.particles = particles
+        self.grid = grid
+        self.steps = steps
+
+    def run(self, recorder: TraceRecorder) -> None:
+        rng = self._rng
+        n = self.particles
+        positions = recorder.alloc(n * 2, "positions")
+        masses = recorder.alloc(n, "masses")
+        forces = recorder.alloc(n * 2, "forces")
+        num_cells = self.grid * self.grid
+        cell_mass = recorder.alloc(num_cells, "cell_mass")
+        cell_center = recorder.alloc(num_cells * 2, "cell_center")
+
+        for i in range(n):
+            positions.write(i * 2, rng.random())
+            positions.write(i * 2 + 1, rng.random())
+            masses.write(i, rng.random() + 0.5)
+
+        for _step in range(self.steps):
+            # Upward pass: aggregate particles into cells.
+            for c in range(num_cells):
+                cell_mass.write(c, 0.0)
+                cell_center.write(c * 2, 0.0)
+                cell_center.write(c * 2 + 1, 0.0)
+            for i in range(n):
+                x = positions.read(i * 2)
+                y = positions.read(i * 2 + 1)
+                cell = min(int(x * self.grid), self.grid - 1) * self.grid + \
+                    min(int(y * self.grid), self.grid - 1)
+                mass = masses.read(i)
+                cell_mass.write(cell, cell_mass.read(cell) + mass)
+                cell_center.write(cell * 2, cell_center.read(cell * 2) + x * mass)
+                cell_center.write(cell * 2 + 1, cell_center.read(cell * 2 + 1) + y * mass)
+                recorder.compute(8)
+
+            # Force evaluation: far field from cells, near field from the
+            # particle's own cell neighbours.
+            schedule = self.interleaved_schedule(n)
+            for i, thread in schedule:
+                x = positions.read(i * 2, thread)
+                y = positions.read(i * 2 + 1, thread)
+                fx = fy = 0.0
+                for c in range(num_cells):
+                    mass = cell_mass.read(c, thread)
+                    if mass <= 0.0:
+                        recorder.compute(1)
+                        continue
+                    cx = cell_center.read(c * 2, thread) / mass
+                    cy = cell_center.read(c * 2 + 1, thread) / mass
+                    dx, dy = cx - x, cy - y
+                    dist_sq = dx * dx + dy * dy + 1e-3
+                    fx += mass * dx / dist_sq
+                    fy += mass * dy / dist_sq
+                    recorder.compute(10)
+                for j in range(max(0, i - 2), min(n, i + 3)):
+                    if j == i:
+                        continue
+                    dx = positions.read(j * 2, thread) - x
+                    dy = positions.read(j * 2 + 1, thread) - y
+                    dist_sq = dx * dx + dy * dy + 1e-3
+                    fx += masses.read(j, thread) * dx / dist_sq
+                    fy += masses.read(j, thread) * dy / dist_sq
+                    recorder.compute(10)
+                forces.write(i * 2, fx, thread)
+                forces.write(i * 2 + 1, fy, thread)
+
+            # Position update.
+            for i in range(n):
+                positions.write(i * 2, min(max(positions.read(i * 2) +
+                                               1e-4 * forces.read(i * 2), 0.0), 1.0))
+                positions.write(i * 2 + 1, min(max(positions.read(i * 2 + 1) +
+                                                   1e-4 * forces.read(i * 2 + 1), 0.0), 1.0))
+                recorder.compute(6)

@@ -1,0 +1,75 @@
+"""Data-pattern micro-benchmarks.
+
+The conventional way to characterise DRAM retention is to write a
+worst-case data pattern (typically random data [39]) across the whole
+array, wait, and read it back.  The paper uses exactly such a random
+data-pattern micro-benchmark as the baseline that the workload-aware
+model is compared against (Fig. 2 and Fig. 13).  A solid (all-zeros)
+pattern variant is included for data-pattern ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import TraceRecorder, Workload
+
+
+class DataPatternWorkload(Workload):
+    """Write a data pattern over the footprint, idle, then sweep-read it."""
+
+    name = "data-pattern"
+    suite = "micro"
+    description = "Conventional retention-characterization micro-benchmark"
+
+    def __init__(self, threads: int = 1, seed: int = 31, words: int = 4096,
+                 sweeps: int = 3, pattern: str = "random",
+                 idle_instructions: int = 400_000, **kwargs) -> None:
+        super().__init__(threads=threads, seed=seed, **kwargs)
+        if pattern not in ("random", "solid", "checkerboard"):
+            raise ValueError(f"unknown pattern {pattern!r}")
+        self.words = words
+        self.sweeps = sweeps
+        self.pattern = pattern
+        self.idle_instructions = idle_instructions
+
+    @property
+    def display_name(self) -> str:
+        return f"data-pattern-{self.pattern}"
+
+    def _pattern_value(self, index: int, rng: np.random.Generator) -> float:
+        if self.pattern == "random":
+            # A random 52-bit mantissa pattern: maximum data entropy.
+            return float(rng.integers(0, 2 ** 52))
+        if self.pattern == "solid":
+            return 0.0
+        # checkerboard
+        return float(0x5555555555555 if index % 2 == 0 else 0xAAAAAAAAAAAAA)
+
+    def run(self, recorder: TraceRecorder) -> None:
+        rng = self._rng
+        buffer = recorder.alloc(self.words, "pattern_buffer")
+
+        for index in range(self.words):
+            buffer.write(index, self._pattern_value(index, rng))
+            recorder.compute(1)
+
+        for _sweep in range(self.sweeps):
+            # The micro-benchmark spends most of its time waiting for cells to
+            # decay; compute-only instructions model that idle period.
+            recorder.compute(self.idle_instructions)
+            for index in range(self.words):
+                buffer.read(index)
+                recorder.compute(1)
+
+
+def random_data_pattern(**kwargs) -> DataPatternWorkload:
+    """The random data-pattern micro-benchmark used in Fig. 2 / Fig. 13."""
+    kwargs.setdefault("pattern", "random")
+    return DataPatternWorkload(**kwargs)
+
+
+def solid_data_pattern(**kwargs) -> DataPatternWorkload:
+    """An all-zeros pattern: the least stressful data pattern."""
+    kwargs.setdefault("pattern", "solid")
+    return DataPatternWorkload(**kwargs)

@@ -1,0 +1,87 @@
+"""Workload registry: every benchmark of the characterization campaign.
+
+The paper's campaign covers five Rodinia/Parsec compute benchmarks in
+single-threaded and 8-thread versions, plus memcached, pagerank, bfs and
+bc run with 8 threads (Section IV.C) — 14 workloads in total.  The
+registry also exposes the lulesh variants and the data-pattern
+micro-benchmarks used by Fig. 2 and Fig. 13.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.analytics import (
+    BetweennessCentralityWorkload,
+    BfsWorkload,
+    PagerankWorkload,
+)
+from repro.workloads.base import Workload
+from repro.workloads.caching import MemcachedWorkload
+from repro.workloads.compute import (
+    BackpropWorkload,
+    FmmWorkload,
+    KmeansWorkload,
+    NeedlemanWunschWorkload,
+    SradWorkload,
+)
+from repro.workloads.lulesh import LuleshWorkload
+from repro.workloads.micro import DataPatternWorkload
+
+WorkloadFactory = Callable[[], Workload]
+
+#: The 14 benchmarks of the main characterization campaign (Fig. 4/7/8/9/11).
+CAMPAIGN_WORKLOADS: Dict[str, WorkloadFactory] = {
+    "backprop": lambda: BackpropWorkload(threads=1),
+    "backprop(par)": lambda: BackpropWorkload(threads=8),
+    "kmeans": lambda: KmeansWorkload(threads=1),
+    "kmeans(par)": lambda: KmeansWorkload(threads=8),
+    "nw": lambda: NeedlemanWunschWorkload(threads=1),
+    "nw(par)": lambda: NeedlemanWunschWorkload(threads=8),
+    "srad": lambda: SradWorkload(threads=1),
+    "srad(par)": lambda: SradWorkload(threads=8),
+    "fmm": lambda: FmmWorkload(threads=1),
+    "fmm(par)": lambda: FmmWorkload(threads=8),
+    "memcached": lambda: MemcachedWorkload(threads=8),
+    "pagerank": lambda: PagerankWorkload(threads=8),
+    "bfs": lambda: BfsWorkload(threads=8),
+    "bc": lambda: BetweennessCentralityWorkload(threads=8),
+}
+
+#: Additional workloads used by specific experiments.
+EXTRA_WORKLOADS: Dict[str, WorkloadFactory] = {
+    "lulesh(O2)": lambda: LuleshWorkload(optimization="O2"),
+    "lulesh(F)": lambda: LuleshWorkload(optimization="F"),
+    "data-pattern-random": lambda: DataPatternWorkload(pattern="random"),
+    "data-pattern-solid": lambda: DataPatternWorkload(pattern="solid"),
+}
+
+ALL_WORKLOADS: Dict[str, WorkloadFactory] = {**CAMPAIGN_WORKLOADS, **EXTRA_WORKLOADS}
+
+
+def campaign_workload_names() -> List[str]:
+    """Names of the 14 campaign benchmarks, in the paper's figure order."""
+    return list(CAMPAIGN_WORKLOADS.keys())
+
+
+def available_workloads() -> List[str]:
+    """Every workload name known to the registry."""
+    return list(ALL_WORKLOADS.keys())
+
+
+def create_workload(name: str) -> Workload:
+    """Instantiate a workload by its registry name."""
+    try:
+        factory = ALL_WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(ALL_WORKLOADS)}"
+        ) from None
+    workload = factory()
+    if workload.display_name != name:
+        raise WorkloadError(
+            f"registry name {name!r} does not match workload display name "
+            f"{workload.display_name!r}"
+        )
+    return workload

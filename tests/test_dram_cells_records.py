@@ -1,0 +1,169 @@
+"""Tests for the explicit cell-array simulator and the ECC error log."""
+
+import pytest
+
+from repro.dram.calibration import (
+    DramCalibration,
+    RetentionCalibration,
+    UeCalibration,
+    WorkloadEffectCalibration,
+)
+from repro.dram.cells import CellArrayConfig, CellArraySimulator
+from repro.dram.ecc import ErrorClass
+from repro.dram.geometry import CellLocation, DramGeometry, RankLocation, small_geometry
+from repro.dram.records import ErrorLog, ErrorRecord
+from repro.errors import ConfigurationError, SimulationError
+
+
+def weak_calibration() -> DramCalibration:
+    """A deliberately leaky cell population so tiny arrays show errors."""
+    return DramCalibration(
+        retention=RetentionCalibration(log_median_retention_50c=4.0, log_sigma=1.2),
+        workload=WorkloadEffectCalibration(),
+        ue=UeCalibration(),
+    )
+
+
+def tiny_simulator(trefp_s=2.283, temperature_c=70.0, seed=3) -> CellArraySimulator:
+    config = CellArrayConfig(
+        geometry=small_geometry(),
+        trefp_s=trefp_s,
+        temperature_c=temperature_c,
+        calibration=weak_calibration(),
+        seed=seed,
+    )
+    return CellArraySimulator(config)
+
+
+class TestCellArraySimulator:
+    def test_write_then_immediate_read_is_clean(self):
+        sim = tiny_simulator()
+        location = sim.geometry.cell_from_word_index(0)
+        sim.write(location, 0xCAFEBABE)
+        result = sim.read(location)
+        assert result.error_class is ErrorClass.NO_ERROR
+
+    def test_reading_unwritten_word_raises(self):
+        sim = tiny_simulator()
+        with pytest.raises(SimulationError):
+            sim.read(sim.geometry.cell_from_word_index(5))
+
+    def test_long_idle_under_relaxed_refresh_produces_errors(self):
+        sim = tiny_simulator(trefp_s=2.283, temperature_c=70.0)
+        locations = sim.fill([0xFFFFFFFFFFFFFFFF] * 2000)
+        sim.idle(600.0)
+        counts = sim.sweep_read(locations)
+        total_errors = sum(counts.values())
+        assert total_errors > 0
+        assert len(sim.error_log) == total_errors
+
+    def test_nominal_refresh_is_clean(self):
+        # With the realistic (default) retention population, the nominal 64 ms
+        # refresh period leaves no cell anywhere near its retention limit.
+        config = CellArrayConfig(geometry=small_geometry(), trefp_s=0.064,
+                                 temperature_c=50.0, seed=3)
+        sim = CellArraySimulator(config)
+        locations = sim.fill([0xFFFFFFFFFFFFFFFF] * 1500)
+        sim.idle(600.0)
+        counts = sim.sweep_read(locations)
+        assert sum(counts.values()) == 0
+
+    def test_longer_refresh_period_produces_more_errors(self):
+        short = tiny_simulator(trefp_s=0.618, temperature_c=50.0, seed=9)
+        long = tiny_simulator(trefp_s=2.283, temperature_c=50.0, seed=9)
+        pattern = [0xAAAAAAAAAAAAAAAA] * 2500
+        for sim in (short, long):
+            locations = sim.fill(list(pattern))
+            sim.idle(600.0)
+            sim.sweep_read(locations)
+        assert len(long.error_log) > 2 * len(short.error_log)
+
+    def test_all_zero_data_hides_decay_to_zero(self):
+        # Cells whose discharge polarity matches the stored bit cannot flip:
+        # a solid pattern therefore shows fewer errors than a dense pattern.
+        solid = tiny_simulator(temperature_c=50.0, seed=21)
+        dense = tiny_simulator(temperature_c=50.0, seed=21)
+        locations = solid.fill([0x0] * 2500)
+        solid.idle(600.0)
+        solid.sweep_read(locations)
+        locations = dense.fill([0xFFFFFFFFFFFFFFFF] * 2500)
+        dense.idle(600.0)
+        dense.sweep_read(locations)
+        assert len(solid.error_log) < len(dense.error_log)
+
+    def test_rewriting_clears_history(self):
+        sim = tiny_simulator()
+        location = sim.geometry.cell_from_word_index(3)
+        sim.write(location, 123)
+        sim.idle(3000.0)
+        sim.write(location, 456)   # rewrite recharges everything
+        result = sim.read(location)
+        assert result.error_class is ErrorClass.NO_ERROR
+        assert int(sum(int(b) << i for i, b in enumerate(result.data))) == 456
+
+    def test_measured_wer_counts_unique_words(self):
+        sim = tiny_simulator()
+        locations = sim.fill([0xFFFFFFFFFFFFFFFF] * 2000)
+        sim.idle(600.0)
+        sim.sweep_read(locations)
+        sim.sweep_read(locations)   # re-reading must not double count
+        unique = len(sim.error_log.unique_word_locations(ErrorClass.CORRECTED))
+        assert sim.measured_wer(2000) == pytest.approx(unique / 2000)
+
+    def test_oversized_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellArraySimulator(CellArrayConfig(geometry=DramGeometry()))
+
+    def test_time_cannot_go_backwards(self):
+        sim = tiny_simulator()
+        with pytest.raises(SimulationError):
+            sim.advance_time(-1.0)
+
+
+class TestErrorLog:
+    def _record(self, dimm=0, rank=0, row=0, column=0, cls=ErrorClass.CORRECTED, t=1.0):
+        return ErrorRecord(cls, CellLocation(dimm, rank, 0, row, column), t, "wl")
+
+    def test_unique_word_locations_deduplicates(self):
+        log = ErrorLog()
+        log.append(self._record(row=1, t=1.0))
+        log.append(self._record(row=1, t=2.0))
+        log.append(self._record(row=2, t=3.0))
+        assert len(log.unique_word_locations(ErrorClass.CORRECTED)) == 2
+
+    def test_unique_words_by_rank(self):
+        log = ErrorLog()
+        log.append(self._record(dimm=0, rank=0, row=1))
+        log.append(self._record(dimm=2, rank=1, row=1))
+        log.append(self._record(dimm=2, rank=1, row=2))
+        by_rank = log.unique_words_by_rank()
+        assert by_rank[RankLocation(0, 0)] == 1
+        assert by_rank[RankLocation(2, 1)] == 2
+
+    def test_has_uncorrectable_and_first(self):
+        log = ErrorLog()
+        assert not log.has_uncorrectable()
+        log.append(self._record(cls=ErrorClass.UNCORRECTABLE, t=9.0))
+        log.append(self._record(cls=ErrorClass.UNCORRECTABLE, t=4.0, row=7))
+        assert log.has_uncorrectable()
+        assert log.first_uncorrectable().timestamp_s == pytest.approx(4.0)
+
+    def test_timeline_is_cumulative_and_monotone(self):
+        log = ErrorLog()
+        for i, t in enumerate([100.0, 700.0, 1300.0, 1400.0]):
+            log.append(self._record(row=i, t=t))
+        timeline = log.timeline(bucket_s=600.0)
+        counts = [count for _t, count in timeline]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_no_error_record_for_clean_reads(self):
+        with pytest.raises(ConfigurationError):
+            ErrorRecord(ErrorClass.NO_ERROR, CellLocation(0, 0, 0, 0, 0), 0.0)
+
+    def test_counts_by_rank(self):
+        log = ErrorLog()
+        log.append(self._record(dimm=1, rank=0))
+        log.append(self._record(dimm=1, rank=0, row=3))
+        counts = log.counts_by_rank(ErrorClass.CORRECTED)
+        assert counts[RankLocation(1, 0)] == 2

@@ -1,0 +1,86 @@
+"""Tests for the SECDED ECC code (Table I behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.ecc import DecodeResult, ErrorClass, SecdedCode, classify_bit_errors
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SecdedCode()
+
+
+class TestClassification:
+    def test_table1_mapping(self):
+        assert classify_bit_errors(0) is ErrorClass.NO_ERROR
+        assert classify_bit_errors(1) is ErrorClass.CORRECTED
+        assert classify_bit_errors(2) is ErrorClass.UNCORRECTABLE
+        assert classify_bit_errors(3) is ErrorClass.SILENT
+        assert classify_bit_errors(7) is ErrorClass.SILENT
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_bit_errors(-1)
+
+
+class TestSecdedCode:
+    def test_codeword_length_is_72(self, code):
+        assert code.encode(0).shape == (72,)
+        assert code.encode(2 ** 64 - 1).shape == (72,)
+
+    def test_clean_round_trip(self, code):
+        for data in (0, 1, 0xDEADBEEF, 2 ** 64 - 1, 0x0123456789ABCDEF):
+            decoded, cls = code.roundtrip_with_errors(data, [])
+            assert decoded == data
+            assert cls is ErrorClass.NO_ERROR
+
+    def test_single_bit_error_corrected_everywhere(self, code):
+        data = 0xA5A5A5A5A5A5A5A5
+        for position in range(72):
+            decoded, cls = code.roundtrip_with_errors(data, [position])
+            assert cls is ErrorClass.CORRECTED
+            assert decoded == data, f"data corrupted after correcting bit {position}"
+
+    def test_double_bit_error_detected(self, code):
+        data = 0x0F0F0F0F0F0F0F0F
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            positions = rng.choice(72, size=2, replace=False)
+            _decoded, cls = code.roundtrip_with_errors(data, positions.tolist())
+            assert cls is ErrorClass.UNCORRECTABLE
+
+    def test_double_error_involving_parity_bit_still_detected(self, code):
+        # One flip in the Hamming region plus the overall parity bit.
+        _decoded, cls = code.roundtrip_with_errors(0x1234, [3, 71])
+        assert cls is ErrorClass.UNCORRECTABLE
+
+    def test_triple_bit_error_is_not_reported_as_ue(self, code):
+        # Odd-weight errors look like single errors to SECDED: they are either
+        # (mis)corrected or silent, never flagged as UE - that is exactly why
+        # the paper calls >2-bit corruption Silent Data Corruption.
+        _decoded, cls = code.roundtrip_with_errors(0xFFFF, [1, 9, 33])
+        assert cls in (ErrorClass.CORRECTED, ErrorClass.SILENT)
+
+    def test_invalid_data_rejected(self, code):
+        with pytest.raises(ConfigurationError):
+            code.encode(2 ** 64)
+        with pytest.raises(ConfigurationError):
+            code.encode(-1)
+
+    def test_invalid_codeword_shape_rejected(self, code):
+        with pytest.raises(ConfigurationError):
+            code.decode(np.zeros(71, dtype=np.uint8))
+
+    def test_decode_result_reports_corrected_position(self, code):
+        codeword = code.encode(42)
+        codeword[10] ^= 1
+        result = code.decode(codeword)
+        assert isinstance(result, DecodeResult)
+        assert result.error_class is ErrorClass.CORRECTED
+        assert result.corrected_bit == 10
+
+    def test_flip_position_out_of_range_rejected(self, code):
+        with pytest.raises(ConfigurationError):
+            code.roundtrip_with_errors(1, [72])

@@ -1,0 +1,133 @@
+"""Tests for DRAM geometry, address mapping and the operating point."""
+
+import pytest
+
+from repro import units
+from repro.dram.address_map import AddressMapper
+from repro.dram.geometry import CellLocation, DramGeometry, RankLocation, small_geometry
+from repro.dram.operating import OperatingPoint
+from repro.errors import ConfigurationError
+
+
+class TestRankLocation:
+    def test_label_matches_paper_figures(self):
+        assert RankLocation(2, 0).label == "DIMM2/rank0"
+
+    def test_ordering_is_stable(self):
+        assert RankLocation(0, 1) < RankLocation(1, 0)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RankLocation(-1, 0)
+
+
+class TestDramGeometry:
+    def test_default_geometry_matches_platform(self):
+        geometry = DramGeometry()
+        assert geometry.num_dimms == 4
+        assert geometry.ranks_per_dimm == 2
+        assert geometry.num_ranks == 8
+
+    def test_iter_ranks_yields_all(self):
+        geometry = DramGeometry()
+        ranks = list(geometry.iter_ranks())
+        assert len(ranks) == 8
+        assert len(set(ranks)) == 8
+
+    def test_rank_index_round_trip(self):
+        geometry = DramGeometry()
+        for index, rank in enumerate(geometry.iter_ranks()):
+            assert geometry.rank_index(rank) == index
+            assert geometry.rank_from_index(index) == rank
+
+    def test_word_index_round_trip_small(self):
+        geometry = small_geometry()
+        for word_index in range(0, geometry.total_words, 977):
+            cell = geometry.cell_from_word_index(word_index)
+            assert geometry.word_index(cell) == word_index
+
+    def test_total_words_consistent(self):
+        geometry = small_geometry()
+        assert geometry.total_words == (
+            geometry.num_ranks * geometry.banks_per_rank *
+            geometry.rows_per_bank * geometry.columns_per_row
+        )
+
+    def test_invalid_cell_rejected(self):
+        geometry = small_geometry()
+        with pytest.raises(ConfigurationError):
+            geometry.validate_cell(CellLocation(0, 0, 0, geometry.rows_per_bank, 0))
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry().validate_rank(RankLocation(9, 0))
+
+    def test_non_positive_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(num_dimms=0)
+
+
+class TestAddressMapper:
+    def test_addresses_interleave_across_ranks(self):
+        geometry = DramGeometry()
+        mapper = AddressMapper(geometry, interleave_bytes=256)
+        ranks = {mapper.map_address(i * 256).rank_location for i in range(8)}
+        assert len(ranks) == 8
+
+    def test_word_alignment(self):
+        mapper = AddressMapper(DramGeometry())
+        assert mapper.map_address(0) == mapper.map_address(7)
+        assert mapper.map_address(0) != mapper.map_address(256)
+
+    def test_footprint_spread_is_even(self):
+        mapper = AddressMapper(DramGeometry())
+        counts = mapper.footprint_words_per_rank(64 * units.MIB)
+        values = list(counts.values())
+        assert max(values) - min(values) <= mapper.words_per_interleave
+        assert sum(values) == 64 * units.MIB // units.WORD_BYTES
+
+    def test_interleave_must_be_word_multiple(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(DramGeometry(), interleave_bytes=100)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(DramGeometry()).map_address(-8)
+
+
+class TestOperatingPoint:
+    def test_nominal_defaults(self):
+        op = OperatingPoint.nominal()
+        assert op.trefp_s == pytest.approx(units.NOMINAL_TREFP_S)
+        assert not op.is_relaxed
+
+    def test_relaxed_constructor_uses_min_vdd(self):
+        op = OperatingPoint.relaxed(2.283, 70.0)
+        assert op.vdd_v == pytest.approx(units.MIN_VDD_V)
+        assert op.is_relaxed
+
+    def test_refresh_scaling(self):
+        op = OperatingPoint.relaxed(0.64, 50.0)
+        assert op.refresh_scaling == pytest.approx(10.0)
+
+    def test_out_of_range_trefp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(trefp_s=3.0)
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(trefp_s=0.001)
+
+    def test_out_of_range_vdd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(vdd_v=1.2)
+
+    def test_out_of_range_temperature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(temperature_c=95.0)
+
+    def test_with_helpers_preserve_other_fields(self):
+        op = OperatingPoint.relaxed(1.173, 50.0)
+        hotter = op.with_temperature(70.0)
+        assert hotter.trefp_s == op.trefp_s
+        assert hotter.temperature_c == pytest.approx(70.0)
+        longer = op.with_trefp(2.283)
+        assert longer.temperature_c == op.temperature_c

@@ -1,0 +1,163 @@
+"""Tests for the metrics, cross-validation splitters, pipeline and selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.ml.cross_validation import (
+    KFold,
+    LeaveOneGroupOut,
+    cross_val_predict_groups,
+    group_scores,
+)
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_percentage_error,
+    pearson_correlation,
+    prediction_ratio,
+    r2_score,
+    root_mean_squared_error,
+    spearman_correlation,
+)
+from repro.ml.pipeline import Pipeline, make_model_pipeline
+from repro.ml.scaling import StandardScaler
+from repro.ml.selection import SpearmanFeatureRanker, select_top_features
+
+
+class TestMetrics:
+    def test_mean_percentage_error_basic(self):
+        assert mean_percentage_error([1.0, 2.0], [1.1, 1.8]) == pytest.approx(10.0)
+
+    def test_mean_percentage_error_zero_target_with_zero_prediction(self):
+        assert mean_percentage_error([0.0], [0.0]) == pytest.approx(0.0)
+
+    def test_mean_percentage_error_zero_target_with_floor(self):
+        # A prediction of 0.05 against a zero target with floor 0.05 is 100 %.
+        assert mean_percentage_error([0.0], [0.05], floor=0.05) == pytest.approx(100.0)
+
+    def test_prediction_ratio_symmetric(self):
+        assert prediction_ratio([1.0], [2.9]) == pytest.approx(2.9)
+        assert prediction_ratio([2.9], [1.0]) == pytest.approx(2.9)
+
+    def test_prediction_ratio_rejects_non_positive(self):
+        with pytest.raises(DataError):
+            prediction_ratio([0.0], [1.0])
+
+    def test_rmse_and_mae(self):
+        assert root_mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+        assert mean_absolute_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(3.5)
+
+    def test_r2_perfect_and_mean_predictor(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_spearman_detects_nonlinear_monotonic(self):
+        x = np.linspace(1, 10, 20)
+        assert spearman_correlation(x, x ** 3) == pytest.approx(1.0)
+        assert spearman_correlation(x, -np.log(x)) == pytest.approx(-1.0)
+
+    def test_spearman_constant_input_is_zero(self):
+        assert spearman_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_pearson_linear(self):
+        x = np.linspace(0, 1, 30)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            mean_percentage_error([1.0], [1.0, 2.0])
+
+
+class TestSplitters:
+    def test_leave_one_group_out_covers_every_group(self):
+        groups = ["a", "a", "b", "c", "c", "c"]
+        splitter = LeaveOneGroupOut()
+        folds = list(splitter.split(range(6), groups))
+        assert len(folds) == 3
+        for train, test in folds:
+            test_groups = {groups[i] for i in test}
+            train_groups = {groups[i] for i in train}
+            assert len(test_groups) == 1
+            assert test_groups.isdisjoint(train_groups)
+
+    def test_leave_one_group_out_needs_two_groups(self):
+        with pytest.raises(DataError):
+            list(LeaveOneGroupOut().split([1, 2], ["x", "x"]))
+
+    def test_kfold_partitions_everything_once(self):
+        splitter = KFold(n_splits=4)
+        seen = []
+        for _train, test in splitter.split(range(10)):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_kfold_rejects_too_few_samples(self):
+        with pytest.raises(DataError):
+            list(KFold(n_splits=5).split(range(3)))
+
+    def test_kfold_shuffle_reproducible(self):
+        a = [t.tolist() for _tr, t in KFold(3, shuffle=True, random_state=1).split(range(9))]
+        b = [t.tolist() for _tr, t in KFold(3, shuffle=True, random_state=1).split(range(9))]
+        assert a == b
+
+    def test_cross_val_predict_groups_never_uses_own_group(self):
+        # Targets are constant within a group; with 1-NN, a leaked prediction
+        # would be exact, an honest one cannot be.
+        X = np.array([[0.0], [0.01], [1.0], [1.01]])
+        y = np.array([0.0, 0.0, 5.0, 5.0])
+        groups = ["g0", "g0", "g1", "g1"]
+        preds = cross_val_predict_groups(KNeighborsRegressor(n_neighbors=1), X, y, groups)
+        assert np.all(np.abs(preds - y) > 1.0)
+
+    def test_group_scores_returns_one_entry_per_group(self):
+        scores = group_scores([1.0, 2.0, 3.0], [1.0, 2.0, 4.0], ["a", "a", "b"],
+                              mean_absolute_error)
+        assert dict(scores)["a"] == pytest.approx(0.0)
+        assert dict(scores)["b"] == pytest.approx(1.0)
+
+
+class TestPipeline:
+    def test_pipeline_scales_before_fitting(self):
+        X = np.array([[0.0, 1000.0], [1.0, 2000.0], [2.0, 3000.0]])
+        y = np.array([0.0, 1.0, 2.0])
+        pipeline = make_model_pipeline(KNeighborsRegressor(n_neighbors=1))
+        pipeline.fit(X, y)
+        assert pipeline.predict([[1.0, 2000.0]])[0] == pytest.approx(1.0)
+
+    def test_pipeline_clone_is_deep(self):
+        pipeline = make_model_pipeline(KNeighborsRegressor(n_neighbors=2))
+        clone = pipeline.clone()
+        assert clone is not pipeline
+        assert clone.named_steps["model"] is not pipeline.named_steps["model"]
+
+    def test_pipeline_requires_transformers_before_model(self):
+        with pytest.raises(ConfigurationError):
+            Pipeline([("model", KNeighborsRegressor()), ("scaler", StandardScaler())])
+
+    def test_pipeline_rejects_duplicate_names(self):
+        with pytest.raises(ConfigurationError):
+            Pipeline([("a", StandardScaler()), ("a", KNeighborsRegressor())])
+
+
+class TestFeatureRanking:
+    def test_ranker_orders_by_strength(self):
+        rng = np.random.default_rng(0)
+        informative = np.linspace(0, 1, 50)
+        noise = rng.normal(size=50)
+        X = np.column_stack([noise, informative])
+        y = informative ** 2
+        ranked = SpearmanFeatureRanker().rank(X, y, ["noise", "informative"])
+        assert ranked[0].feature == "informative"
+        assert ranked[0].strength > ranked[1].strength
+
+    def test_select_top_features(self):
+        ranked = SpearmanFeatureRanker().rank(
+            np.column_stack([np.arange(10), np.ones(10)]), np.arange(10), ["a", "b"]
+        )
+        assert select_top_features(ranked, 1) == ["a"]
+
+    def test_feature_name_mismatch_raises(self):
+        with pytest.raises(DataError):
+            SpearmanFeatureRanker().rank(np.zeros((3, 2)), np.zeros(3), ["only-one"])

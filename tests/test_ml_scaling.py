@@ -1,0 +1,93 @@
+"""Tests for the scaling / column transformers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.scaling import (
+    ColumnLogTransformer,
+    ColumnWeightTransformer,
+    LogTransformer,
+    MinMaxScaler,
+    StandardScaler,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0)
+        assert np.allclose(Z.std(axis=0), 1.0)
+
+    def test_constant_column_does_not_produce_nan(self):
+        X = np.array([[1.0, 5.0], [1.0, 7.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_round_trip(self):
+        X = np.array([[1.0, 2.0], [4.0, 8.0], [9.0, 1.0]])
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_count_mismatch_raises(self):
+        scaler = StandardScaler().fit([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            scaler.transform([[1.0, 2.0, 3.0]])
+
+
+class TestMinMaxScaler:
+    def test_range_is_zero_one(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == pytest.approx(0.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_constant_column_maps_to_zero(self):
+        Z = MinMaxScaler().fit_transform([[3.0], [3.0]])
+        assert np.allclose(Z, 0.0)
+
+
+class TestColumnLogTransformer:
+    def test_only_selected_columns_are_transformed(self):
+        X = np.array([[10.0, 10.0], [100.0, 100.0]])
+        Z = ColumnLogTransformer(columns=[0]).fit_transform(X)
+        assert Z[0, 0] == pytest.approx(1.0, abs=1e-6)
+        assert Z[1, 0] == pytest.approx(2.0, abs=1e-6)
+        assert np.allclose(Z[:, 1], X[:, 1])
+
+    def test_zero_values_use_offset(self):
+        Z = ColumnLogTransformer(columns=[0], offset=1e-6).fit_transform([[0.0]])
+        assert Z[0, 0] == pytest.approx(-6.0)
+
+    def test_out_of_range_column_raises(self):
+        with pytest.raises(ValueError):
+            ColumnLogTransformer(columns=[5]).fit([[1.0, 2.0]])
+
+
+class TestColumnWeightTransformer:
+    def test_weights_are_applied(self):
+        Z = ColumnWeightTransformer([2.0, 1.0]).fit_transform([[3.0, 3.0]])
+        assert Z[0, 0] == pytest.approx(6.0)
+        assert Z[0, 1] == pytest.approx(3.0)
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(ValueError):
+            ColumnWeightTransformer([1.0, 0.0])
+
+    def test_rejects_mismatched_width(self):
+        with pytest.raises(ValueError):
+            ColumnWeightTransformer([1.0]).fit([[1.0, 2.0]])
+
+
+class TestLogTransformer:
+    def test_round_trip(self):
+        transformer = LogTransformer()
+        values = np.array([1e-9, 1e-5, 1.0])
+        back = transformer.inverse_transform(transformer.transform(values))
+        assert np.allclose(back, values)

@@ -1,0 +1,168 @@
+"""Tests for the workload suite and the instrumentation layer."""
+
+import pytest
+
+from repro import units
+from repro.errors import WorkloadError
+from repro.workloads.base import TraceRecorder, float_to_word
+from repro.workloads.caching import MemcachedWorkload
+from repro.workloads.compute import BackpropWorkload, KmeansWorkload, NeedlemanWunschWorkload
+from repro.workloads.lulesh import LuleshWorkload
+from repro.workloads.micro import DataPatternWorkload, random_data_pattern, solid_data_pattern
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    CAMPAIGN_WORKLOADS,
+    available_workloads,
+    campaign_workload_names,
+    create_workload,
+)
+
+
+class TestTraceRecorder:
+    def test_alloc_returns_disjoint_page_aligned_arrays(self):
+        recorder = TraceRecorder()
+        a = recorder.alloc(10, "a")
+        b = recorder.alloc(10, "b")
+        assert a.base_address % 8 == 0
+        assert b.base_address >= a.base_address + 10 * units.WORD_BYTES
+        assert b.base_address % 4096 == 0
+
+    def test_reads_and_writes_are_recorded_in_order(self):
+        recorder = TraceRecorder()
+        array = recorder.alloc(4)
+        array.write(0, 1.5)
+        assert array.read(0) == pytest.approx(1.5)
+        assert recorder.num_accesses == 2
+        assert recorder.accesses[0].is_write
+        assert recorder.accesses[1].is_read
+        assert recorder.accesses[0].instruction_index < recorder.accesses[1].instruction_index
+
+    def test_written_value_is_raw_float_bits(self):
+        recorder = TraceRecorder()
+        array = recorder.alloc(1)
+        array.write(0, 2.0)
+        assert recorder.accesses[0].value == float_to_word(2.0)
+
+    def test_compute_advances_instruction_counter_only(self):
+        recorder = TraceRecorder()
+        recorder.compute(100)
+        assert recorder.instruction_count == 100
+        assert recorder.num_accesses == 0
+
+    def test_out_of_bounds_access_raises(self):
+        recorder = TraceRecorder()
+        array = recorder.alloc(2)
+        with pytest.raises(WorkloadError):
+            array.read(2)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecorder().compute(-1)
+
+
+class TestWorkloadScheduling:
+    def test_thread_chunks_cover_all_items(self):
+        workload = BackpropWorkload(threads=8)
+        chunks = workload.thread_chunks(100)
+        assert sum(len(c) for c in chunks) == 100
+        assert len(chunks) == 8
+
+    def test_interleaved_schedule_is_a_permutation(self):
+        workload = BackpropWorkload(threads=4)
+        schedule = workload.interleaved_schedule(50)
+        items = sorted(item for item, _thread in schedule)
+        assert items == list(range(50))
+        assert {thread for _item, thread in schedule} == {0, 1, 2, 3}
+
+    def test_serial_schedule_uses_single_thread(self):
+        workload = BackpropWorkload(threads=1)
+        schedule = workload.interleaved_schedule(10)
+        assert all(thread == 0 for _item, thread in schedule)
+
+
+class TestRegistry:
+    def test_campaign_has_fourteen_workloads(self):
+        assert len(campaign_workload_names()) == 14
+
+    def test_every_registry_entry_is_constructible(self):
+        for name in available_workloads():
+            workload = create_workload(name)
+            assert workload.display_name == name
+
+    def test_parallel_variants_use_eight_threads(self):
+        assert create_workload("backprop(par)").threads == 8
+        assert create_workload("backprop").threads == 1
+        assert create_workload("memcached").threads == 8
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            create_workload("doom")
+
+    def test_extra_workloads_not_in_campaign(self):
+        assert "lulesh(O2)" in ALL_WORKLOADS
+        assert "lulesh(O2)" not in CAMPAIGN_WORKLOADS
+
+
+class TestKernels:
+    def test_every_campaign_workload_produces_a_trace(self):
+        for name in campaign_workload_names():
+            recorder = create_workload(name).record_trace()
+            assert recorder.num_accesses > 1000, name
+            assert recorder.instruction_count > recorder.num_accesses, name
+            assert recorder.allocated_bytes > 0, name
+
+    def test_traces_are_deterministic(self):
+        a = KmeansWorkload(threads=1, seed=5).record_trace()
+        b = KmeansWorkload(threads=1, seed=5).record_trace()
+        assert a.num_accesses == b.num_accesses
+        assert [x.address for x in a.accesses[:200]] == [x.address for x in b.accesses[:200]]
+
+    def test_different_seeds_change_the_data(self):
+        a = KmeansWorkload(threads=1, seed=5).record_trace()
+        b = KmeansWorkload(threads=1, seed=6).record_trace()
+        assert [x.value for x in a.accesses[:50]] != [x.value for x in b.accesses[:50]]
+
+    def test_parallel_variant_tags_multiple_threads(self):
+        recorder = BackpropWorkload(threads=8).record_trace()
+        assert {a.thread_id for a in recorder.accesses} == set(range(8))
+
+    def test_nw_computes_a_dp_matrix(self):
+        workload = NeedlemanWunschWorkload(threads=1, length=20)
+        recorder = TraceRecorder()
+        workload._rng = workload._rng  # no-op, keeps lint quiet
+        workload.run(recorder)
+        # The recorder's last accesses touch the DP matrix, whose final cell
+        # holds the alignment score (a finite float).
+        assert recorder.num_accesses > 20 * 20
+
+    def test_memcached_mixes_reads_and_writes(self):
+        recorder = MemcachedWorkload(threads=8, requests=500).record_trace()
+        reads = sum(1 for a in recorder.accesses if a.is_read)
+        writes = sum(1 for a in recorder.accesses if a.is_write)
+        assert reads > writes > 0
+
+    def test_lulesh_variants_differ_in_instruction_count(self):
+        o2 = LuleshWorkload(optimization="O2", edge=6, steps=2).record_trace()
+        aggressive = LuleshWorkload(optimization="F", edge=6, steps=2).record_trace()
+        assert aggressive.instruction_count < o2.instruction_count
+        assert abs(aggressive.num_accesses - o2.num_accesses) < 0.05 * o2.num_accesses
+
+    def test_lulesh_rejects_unknown_optimization(self):
+        with pytest.raises(ValueError):
+            LuleshWorkload(optimization="O3")
+
+    def test_data_pattern_variants(self):
+        random_trace = random_data_pattern(words=256, sweeps=1).record_trace()
+        solid_trace = solid_data_pattern(words=256, sweeps=1).record_trace()
+        random_values = {a.value for a in random_trace.accesses if a.is_write}
+        solid_values = {a.value for a in solid_trace.accesses if a.is_write}
+        assert len(random_values) > 100
+        assert solid_values == {float_to_word(0.0)}
+
+    def test_data_pattern_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            DataPatternWorkload(pattern="stripes")
+
+    def test_workload_with_zero_threads_rejected(self):
+        with pytest.raises(WorkloadError):
+            BackpropWorkload(threads=0)
