@@ -86,10 +86,21 @@ class CampaignResult:
         return float(np.mean(list(per_workload.values())))
 
     def workload_spread(self, trefp_s: float, temperature_c: float) -> float:
-        """Max/min WER ratio across workloads (the "8x" claim)."""
+        """Max/min WER ratio across workloads (the "8x" claim).
+
+        Workloads that measured no errors at all (WER = 0, common at mild
+        operating points) are excluded: the ratio against them is
+        undefined, and the paper's spread compares measurable rates.
+        """
         per_workload = self.wer_by_workload(trefp_s, temperature_c)
-        values = list(per_workload.values())
-        return max(values) / min(values)
+        positive = [v for v in per_workload.values() if v > 0]
+        if len(positive) < 2:
+            raise CharacterizationError(
+                f"workload spread undefined at TREFP={trefp_s}s, "
+                f"T={temperature_c}C: fewer than two workloads measured a "
+                "positive WER"
+            )
+        return max(positive) / min(positive)
 
     def rank_spread(self, trefp_s: float, temperature_c: float) -> float:
         """Largest max/min WER ratio across DIMM/ranks for a single workload.

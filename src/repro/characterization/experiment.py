@@ -15,7 +15,10 @@ import numpy as np
 
 from repro import units
 from repro.characterization.metrics import UeObservation, WerMeasurement
-from repro.dram.geometry import RankLocation
+from repro.dram.calibration import DramCalibration, RetentionCalibration
+from repro.dram.cells import CellArrayConfig, CellArraySimulator
+from repro.dram.ecc import ErrorClass, bits_to_words
+from repro.dram.geometry import RankLocation, small_geometry
 from repro.dram.operating import OperatingPoint
 from repro.dram.statistical import WorkloadBehavior
 from repro.errors import CharacterizationError
@@ -71,6 +74,21 @@ class ExperimentResult:
             crashed=self.crashed,
             rank=self.ue_rank,
         )
+
+
+@dataclass(frozen=True)
+class MechanismCheckResult:
+    """Mechanism-level cross-check of one operating point.
+
+    Produced by :meth:`CharacterizationExperiment.mechanism_check`: real
+    SECDED decoding of real bit flips on a small cell array, reduced to
+    the same WER metric the statistical model predicts.
+    """
+
+    operating_point: OperatingPoint
+    words: int
+    counts: Dict[ErrorClass, int]
+    measured_wer: float
 
 
 class CharacterizationExperiment:
@@ -140,4 +158,66 @@ class CharacterizationExperiment:
             rank_wer=rank_wer,
             wer_time_series=time_series,
             ue_rank=ue_rank,
+        )
+
+    # ------------------------------------------------------------------
+    def mechanism_check(
+        self,
+        op: OperatingPoint,
+        behavior: Optional[WorkloadBehavior] = None,
+        num_words: int = 4096,
+        idle_s: float = 600.0,
+        calibration: Optional[DramCalibration] = None,
+        seed: Optional[int] = None,
+    ) -> MechanismCheckResult:
+        """Cross-check an operating point against the explicit cell array.
+
+        The campaign itself uses the closed-form statistical model; this
+        runs the same operating point through the cell-array simulator's
+        batch engine — write a data pattern whose charged-bit density
+        follows the workload's entropy, let the array leak, read back
+        through real SECDED decoding — so the model's trends can be
+        validated mechanism-level.  The default calibration is a
+        deliberately weak cell population: a tiny array must exhibit
+        failures for the check to say anything.
+        """
+        simulator = CellArraySimulator(
+            CellArrayConfig(
+                geometry=small_geometry(),
+                trefp_s=op.trefp_s,
+                vdd_v=op.vdd_v,
+                temperature_c=op.temperature_c,
+                calibration=calibration
+                or DramCalibration(
+                    retention=RetentionCalibration(
+                        log_median_retention_50c=3.0, log_sigma=1.3
+                    )
+                ),
+                seed=self.seed if seed is None else seed,
+            )
+        )
+        if not 0 < num_words <= simulator.geometry.total_words:
+            raise CharacterizationError(
+                f"num_words must be in 1..{simulator.geometry.total_words}, "
+                f"got {num_words}"
+            )
+        if idle_s <= 0:
+            raise CharacterizationError("idle_s must be positive")
+
+        rng = np.random.default_rng(simulator.config.seed)
+        density = 1.0
+        if behavior is not None:
+            density = min(max(behavior.data_entropy_bits / 32.0, 0.0), 1.0)
+        bits = (rng.random((num_words, units.WORD_BITS)) < density).astype(np.uint8)
+        locations = [
+            simulator.geometry.cell_from_word_index(i) for i in range(num_words)
+        ]
+        simulator.write_batch(locations, bits_to_words(bits))
+        simulator.idle(idle_s)
+        sweep = simulator.read_batch(locations, workload="mechanism-check")
+        return MechanismCheckResult(
+            operating_point=op,
+            words=num_words,
+            counts=sweep.counts(),
+            measured_wer=simulator.measured_wer(num_words),
         )

@@ -18,8 +18,16 @@ from repro.dram.calibration import (
     UeCalibration,
     WorkloadEffectCalibration,
 )
-from repro.dram.cells import CellArrayConfig, CellArraySimulator
-from repro.dram.ecc import DecodeResult, ErrorClass, SecdedCode, classify_bit_errors
+from repro.dram.cells import BatchReadResult, CellArrayConfig, CellArraySimulator
+from repro.dram.ecc import (
+    BatchDecodeResult,
+    DecodeResult,
+    ErrorClass,
+    SecdedCode,
+    bits_to_words,
+    classify_bit_errors,
+    words_to_bits,
+)
 from repro.dram.geometry import CellLocation, DramGeometry, RankLocation, small_geometry
 from repro.dram.operating import OperatingPoint
 from repro.dram.records import ErrorLog, ErrorRecord
@@ -44,12 +52,16 @@ __all__ = [
     "RetentionCalibration",
     "UeCalibration",
     "WorkloadEffectCalibration",
+    "BatchDecodeResult",
+    "BatchReadResult",
     "CellArrayConfig",
     "CellArraySimulator",
     "DecodeResult",
     "ErrorClass",
     "SecdedCode",
+    "bits_to_words",
     "classify_bit_errors",
+    "words_to_bits",
     "CellLocation",
     "DramGeometry",
     "RankLocation",

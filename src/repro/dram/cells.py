@@ -22,22 +22,46 @@ Semantics
 * Accessing a row disturbs its physical neighbours (row hammer): the
   neighbours' effective retention shrinks with the number of
   disturbances accumulated since their last recharge.
+
+Batch semantics
+---------------
+``write_batch`` / ``read_batch`` are the hot path: decay, SECDED
+decoding, scrub-on-read, recharge bookkeeping and error logging are
+applied to all requested words with array operations, and the scalar
+``read`` / ``write`` / ``fill`` / ``sweep_read`` route through them.  A
+batch models one burst access: every word in the batch is sensed against
+the array state at the start of the burst, then all recharges land and
+all row-hammer disturbances accrue.  (A sequential loop of scalar calls
+additionally lets earlier accesses disturb later ones within the same
+burst; at the default interference strength the difference is a
+sub-percent retention shift.)  Locations within one batch must be
+unique — duplicated words would alias the in-place bookkeeping.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro import units
 from repro.dram.calibration import DEFAULT_CALIBRATION, DramCalibration
-from repro.dram.ecc import DecodeResult, ErrorClass, SecdedCode
+from repro.dram.ecc import (
+    BatchDecodeResult,
+    ERROR_CLASS_CODES,
+    ERROR_CLASS_ORDER,
+    DecodeResult,
+    ErrorClass,
+    SecdedCode,
+)
 from repro.dram.geometry import CellLocation, DramGeometry, small_geometry
 from repro.dram.records import ErrorLog, ErrorRecord
 from repro.dram.retention import sample_retention_times
 from repro.errors import ConfigurationError, SimulationError
+
+_NO_ERROR_CODE = ERROR_CLASS_CODES[ErrorClass.NO_ERROR]
+_CORRECTED_CODE = ERROR_CLASS_CODES[ErrorClass.CORRECTED]
 
 
 @dataclass
@@ -72,6 +96,26 @@ class CellArrayConfig:
             raise ConfigurationError("vrt_fraction must be in [0, 1]")
         if not 0.0 <= self.true_cell_fraction <= 1.0:
             raise ConfigurationError("true_cell_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class BatchReadResult:
+    """Outcome of one burst read of many words."""
+
+    locations: Sequence[CellLocation]
+    decode: BatchDecodeResult
+
+    def __len__(self) -> int:
+        return len(self.decode)
+
+    def counts(self) -> Dict[ErrorClass, int]:
+        """Words per error class, including :attr:`ErrorClass.NO_ERROR`."""
+        return self.decode.counts()
+
+    def error_locations(self) -> List[CellLocation]:
+        """Locations whose read produced any ECC event."""
+        rows = np.flatnonzero(self.decode.error_codes != _NO_ERROR_CODE)
+        return [self.locations[i] for i in rows]
 
 
 class CellArraySimulator:
@@ -124,90 +168,138 @@ class CellArraySimulator:
     def _word_index(self, location: CellLocation) -> int:
         return self.geometry.word_index(location)
 
+    def _word_indices(self, locations: Sequence[CellLocation]) -> np.ndarray:
+        indices = np.fromiter(
+            (self.geometry.word_index(location) for location in locations),
+            dtype=np.int64,
+            count=len(locations),
+        )
+        if np.unique(indices).size != indices.size:
+            raise ConfigurationError(
+                "batch operations require unique locations: duplicated words "
+                "would alias the in-place recharge/scrub bookkeeping"
+            )
+        return indices
+
     def advance_time(self, delta_s: float) -> None:
         """Advance the simulation clock; auto-refresh bounds cell exposure."""
         if delta_s < 0:
             raise SimulationError("time cannot move backwards")
         self.now_s += delta_s
 
-    def _record_exposure(self, word: int) -> None:
-        """Account the un-recharged gap ending now for ``word``.
+    def _record_exposure(self, words: np.ndarray) -> None:
+        """Account the un-recharged gap ending now for each of ``words``.
 
         Auto-refresh recharges every cell at least once per TREFP, so the
         worst-case exposure of any single retention window is bounded by
         TREFP even when the word is never accessed.
         """
-        gap = self.now_s - self.last_recharge_s[word]
-        exposure = min(gap, self.config.trefp_s)
-        if exposure > self.max_exposure_s[word]:
-            self.max_exposure_s[word] = exposure
+        gaps = self.now_s - self.last_recharge_s[words]
+        exposure = np.minimum(gaps, self.config.trefp_s)
+        self.max_exposure_s[words] = np.maximum(self.max_exposure_s[words], exposure)
 
-    def _effective_retention(self, word: int) -> np.ndarray:
-        retention = self.base_retention_s[word].copy()
-        retention[self.vrt_mask[word]] *= 0.1
-        denom = 1.0 + self.config.interference_strength * self.disturbance[word]
-        return retention / denom
+    def _effective_retention(self, words: np.ndarray) -> np.ndarray:
+        """Per-cell effective retention for a batch of words, as (N, 72)."""
+        # Advanced indexing already yields a fresh array, safe to mutate.
+        retention = self.base_retention_s[words]
+        retention[self.vrt_mask[words]] *= 0.1
+        denom = 1.0 + self.config.interference_strength * self.disturbance[words]
+        return retention / denom[:, None]
 
-    def _disturb_neighbours(self, location: CellLocation) -> None:
-        for neighbour_row in (location.row - 1, location.row + 1):
-            if not 0 <= neighbour_row < self.geometry.rows_per_bank:
-                continue
-            start = self.geometry.word_index(
-                CellLocation(location.dimm, location.rank, location.bank, neighbour_row, 0)
-            )
-            self.disturbance[start : start + self.geometry.columns_per_row] += 1.0
+    def _disturb_neighbour_rows(self, words: np.ndarray) -> None:
+        """Row-hammer bookkeeping for a batch of accessed words.
+
+        The word index layout is row-major within each bank, so the words
+        of one physical row form one contiguous slab of ``columns_per_row``
+        entries; a reshape exposes the disturbance counters row-by-row and
+        ``np.add.at`` accumulates duplicate hits from the same batch.
+        """
+        columns = self.geometry.columns_per_row
+        rows = words // columns
+        row_in_bank = rows % self.geometry.rows_per_bank
+        neighbours = np.concatenate([
+            rows[row_in_bank > 0] - 1,
+            rows[row_in_bank < self.geometry.rows_per_bank - 1] + 1,
+        ])
+        if neighbours.size:
+            np.add.at(self.disturbance.reshape(-1, columns), neighbours, 1.0)
+
+    def _recharge(self, words: np.ndarray) -> None:
+        self.last_recharge_s[words] = self.now_s
+        self.max_exposure_s[words] = 0.0
+        self.disturbance[words] = 0.0
 
     # -- memory operations ---------------------------------------------------
-    def write(self, location: CellLocation, data: int) -> None:
-        """Store a 64-bit value; writing recharges and resets the word's history."""
-        word = self._word_index(location)
-        self.codewords[word] = self._code.encode(data)
-        self.last_recharge_s[word] = self.now_s
-        self.max_exposure_s[word] = 0.0
-        self.disturbance[word] = 0.0
-        self.word_written[word] = True
-        self._disturb_neighbours(location)
+    def write_batch(self, locations: Sequence[CellLocation], data_values) -> None:
+        """Store one 64-bit value per location in a single burst.
 
-    def read(self, location: CellLocation, workload: str = "") -> DecodeResult:
-        """Read a word: apply decay, decode through ECC, log any error.
-
-        Reading senses the whole row, so it also recharges the word and
-        scrubs single-bit errors (the corrected value is written back).
+        Writing recharges each word and resets its history, then the
+        burst's row-hammer disturbances land on the neighbouring rows.
         """
-        word = self._word_index(location)
-        if not self.word_written[word]:
-            raise SimulationError(f"read of unwritten location {location}")
+        words = self._word_indices(locations)
+        data = np.asarray(data_values)
+        if data.shape != (words.size,):
+            raise ConfigurationError(
+                "locations and data_values must have equal length"
+            )
+        # encode_batch validates the 64-bit range and raises ConfigurationError.
+        self.codewords[words] = self._code.encode_batch(data)
+        self._recharge(words)
+        self.word_written[words] = True
+        self._disturb_neighbour_rows(words)
 
-        self._record_exposure(word)
-        retention = self._effective_retention(word)
-        leaked = retention < self.max_exposure_s[word]
-        stored = self.codewords[word].copy()
-        decayed = np.where(leaked, self.discharge_value[word], stored).astype(np.uint8)
+    def read_batch(self, locations: Sequence[CellLocation], workload: str = "") -> BatchReadResult:
+        """Read a burst of words: decay, SECDED decode, scrub, log — vectorized.
 
-        result = self._code.decode(decayed)
-        if result.error_class is not ErrorClass.NO_ERROR:
+        Reading senses whole rows, so every word is recharged; single-bit
+        errors are corrected in place (scrub-on-read) while multi-bit
+        corruption persists until rewritten.
+        """
+        words = self._word_indices(locations)
+        unwritten = np.flatnonzero(~self.word_written[words])
+        if unwritten.size:
+            raise SimulationError(f"read of unwritten location {locations[unwritten[0]]}")
+
+        self._record_exposure(words)
+        retention = self._effective_retention(words)
+        leaked = retention < self.max_exposure_s[words][:, None]
+        stored = self.codewords[words]
+        decayed = np.where(leaked, self.discharge_value[words], stored).astype(np.uint8)
+
+        decode = self._code.decode_batch(decayed)
+        for row in np.flatnonzero(decode.error_codes != _NO_ERROR_CODE):
             self.error_log.append(
                 ErrorRecord(
-                    error_class=result.error_class,
-                    location=location,
+                    error_class=ERROR_CLASS_ORDER[int(decode.error_codes[row])],
+                    location=locations[row],
                     timestamp_s=self.now_s,
                     workload=workload,
                 )
             )
 
-        # Scrub-on-read: single-bit errors are corrected in place; multi-bit
-        # corruption persists (the data is lost until rewritten).
-        if result.error_class in (ErrorClass.NO_ERROR, ErrorClass.CORRECTED):
-            self.codewords[word] = self._code.encode(
-                int(sum(int(b) << i for i, b in enumerate(result.data)))
-            )
-        else:
-            self.codewords[word] = decayed
-        self.last_recharge_s[word] = self.now_s
-        self.max_exposure_s[word] = 0.0
-        self.disturbance[word] = 0.0
-        self._disturb_neighbours(location)
-        return result
+        # Scrub-on-read: corrected words are written back as valid codewords;
+        # multi-bit corruption persists (the data is lost until rewritten).
+        # Clean words are already valid codewords, so re-encoding them would
+        # be a bit-for-bit no-op — skip the encode work.
+        scrubbed = decode.error_codes == _CORRECTED_CODE
+        if scrubbed.any():
+            decayed[scrubbed] = self._code.encode_batch(decode.data_bits[scrubbed])
+        self.codewords[words] = decayed
+        self._recharge(words)
+        self._disturb_neighbour_rows(words)
+        return BatchReadResult(locations=list(locations), decode=decode)
+
+    def write(self, location: CellLocation, data: int) -> None:
+        """Store a 64-bit value; writing recharges and resets the word's history."""
+        if not isinstance(data, (int, np.integer)) or isinstance(data, bool):
+            raise ConfigurationError("data must be a 64-bit unsigned integer")
+        if not 0 <= data < (1 << units.WORD_BITS):
+            raise ConfigurationError("data must be a 64-bit unsigned integer")
+        self.write_batch([location], np.array([data], dtype=np.uint64))
+
+    def read(self, location: CellLocation, workload: str = "") -> DecodeResult:
+        """Read a word: apply decay, decode through ECC, log any error."""
+        return self.read_batch([location], workload=workload).decode.result(0)
 
     # -- bulk helpers used by tests and the validation example ---------------
     def fill(self, data_values: List[int], locations: Optional[List[CellLocation]] = None) -> List[CellLocation]:
@@ -218,8 +310,7 @@ class CellArraySimulator:
             ]
         if len(locations) != len(data_values):
             raise ConfigurationError("locations and data_values must have equal length")
-        for location, value in zip(locations, data_values):
-            self.write(location, value)
+        self.write_batch(locations, data_values)
         return locations
 
     def idle(self, duration_s: float) -> None:
@@ -228,16 +319,12 @@ class CellArraySimulator:
 
     def sweep_read(self, locations: List[CellLocation], workload: str = "") -> Dict[ErrorClass, int]:
         """Read every location once and return error counts by class."""
-        counts: Dict[ErrorClass, int] = {
-            ErrorClass.CORRECTED: 0,
-            ErrorClass.UNCORRECTABLE: 0,
-            ErrorClass.SILENT: 0,
+        counts = self.read_batch(locations, workload=workload).counts()
+        return {
+            ErrorClass.CORRECTED: counts[ErrorClass.CORRECTED],
+            ErrorClass.UNCORRECTABLE: counts[ErrorClass.UNCORRECTABLE],
+            ErrorClass.SILENT: counts[ErrorClass.SILENT],
         }
-        for location in locations:
-            result = self.read(location, workload=workload)
-            if result.error_class in counts:
-                counts[result.error_class] += 1
-        return counts
 
     def measured_wer(self, footprint_words: Optional[int] = None) -> float:
         """WER per Eq. 2: unique CE word locations / footprint size in words."""

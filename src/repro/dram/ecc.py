@@ -10,13 +10,20 @@ the paper:
 
 The encoder/decoder below implements a real extended Hamming code so the
 classification emerges from syndrome decoding rather than being assumed.
+
+The hot path is the batch engine: the parity-check structure is
+precomputed as small GF(2) matrices once per :class:`SecdedCode`, and
+:meth:`SecdedCode.encode_batch` / :meth:`SecdedCode.decode_batch`
+encode or decode whole ``(N, 72)`` blocks with matmul-mod-2 operations.
+The scalar :meth:`SecdedCode.encode` / :meth:`SecdedCode.decode` API is
+kept as a thin wrapper over one-element batches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Tuple
+from typing import Dict, Iterable, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +40,19 @@ class ErrorClass(Enum):
     SILENT = "SDC"
 
 
+#: Stable numeric codes used by the batch decoder; index into this tuple
+#: to recover the enum (``ERROR_CLASS_ORDER[code]``).
+ERROR_CLASS_ORDER: Tuple[ErrorClass, ...] = (
+    ErrorClass.NO_ERROR,
+    ErrorClass.CORRECTED,
+    ErrorClass.UNCORRECTABLE,
+    ErrorClass.SILENT,
+)
+ERROR_CLASS_CODES: Dict[ErrorClass, int] = {
+    cls: code for code, cls in enumerate(ERROR_CLASS_ORDER)
+}
+
+
 def classify_bit_errors(num_corrupted_bits: int) -> ErrorClass:
     """Table I of the paper: classification by the number of corrupted bits."""
     if num_corrupted_bits < 0:
@@ -46,6 +66,44 @@ def classify_bit_errors(num_corrupted_bits: int) -> ErrorClass:
     return ErrorClass.SILENT
 
 
+_WORD_SHIFTS = np.arange(units.WORD_BITS, dtype=np.uint64)
+
+
+def words_to_bits(words: Union[np.ndarray, Iterable[int]]) -> np.ndarray:
+    """Unpack an ``(N,)`` array of 64-bit words into ``(N, 64)`` LSB-first bits."""
+    try:
+        src = np.asarray(words)
+        if np.issubdtype(src.dtype, np.floating):
+            raise TypeError("floating-point data words")
+        # Casting a signed array to uint64 would wrap negatives silently.
+        if np.issubdtype(src.dtype, np.signedinteger) and src.size and int(src.min()) < 0:
+            raise OverflowError("negative data word")
+        arr = src if src.dtype == np.uint64 else src.astype(np.uint64)
+    except (OverflowError, ValueError, TypeError) as exc:
+        raise ConfigurationError(
+            "data words must be 64-bit unsigned integers"
+        ) from exc
+    if arr.ndim != 1:
+        raise ConfigurationError(f"expected a 1-D array of words, got shape {arr.shape}")
+    return ((arr[:, None] >> _WORD_SHIFTS[None, :]) & np.uint64(1)).astype(np.uint8)
+
+
+def bits_to_words(bits: np.ndarray) -> np.ndarray:
+    """Pack ``(N, 64)`` LSB-first bit rows into an ``(N,)`` uint64 array."""
+    src = np.asarray(bits)
+    if src.ndim != 2 or src.shape[1] != units.WORD_BITS:
+        raise ConfigurationError(
+            f"expected an (N, {units.WORD_BITS}) bit array, got shape {src.shape}"
+        )
+    # Check values before the uint64 cast: a stray -1 or 2 would otherwise
+    # wrap into a garbage word with no error.
+    if np.any((src != 0) & (src != 1)):
+        raise ConfigurationError("bit array entries must be 0 or 1")
+    arr = src.astype(np.uint64)
+    # Each column contributes a distinct power of two, so the sum is exact.
+    return (arr << _WORD_SHIFTS[None, :]).sum(axis=1, dtype=np.uint64)
+
+
 @dataclass(frozen=True)
 class DecodeResult:
     """Result of decoding one codeword."""
@@ -53,6 +111,47 @@ class DecodeResult:
     data: np.ndarray                 #: the 64 decoded data bits
     error_class: ErrorClass
     corrected_bit: int = -1          #: codeword position corrected, -1 if none
+
+
+@dataclass(frozen=True)
+class BatchDecodeResult:
+    """Result of decoding ``N`` codewords at once.
+
+    ``error_codes`` holds one entry of :data:`ERROR_CLASS_CODES` per
+    codeword so downstream array code (masking, ``np.bincount``) never
+    touches Python enums; :meth:`error_classes` and :meth:`result`
+    rehydrate the object API where convenience matters more than speed.
+    """
+
+    data_bits: np.ndarray            #: (N, 64) decoded data bits
+    error_codes: np.ndarray          #: (N,) uint8 codes into ERROR_CLASS_ORDER
+    corrected_bits: np.ndarray       #: (N,) corrected codeword position, -1 if none
+
+    def __len__(self) -> int:
+        return int(self.error_codes.shape[0])
+
+    @property
+    def data_words(self) -> np.ndarray:
+        """The decoded data as an ``(N,)`` uint64 array."""
+        return bits_to_words(self.data_bits)
+
+    def error_classes(self) -> np.ndarray:
+        """The per-codeword :class:`ErrorClass` values (object array)."""
+        lookup = np.array(ERROR_CLASS_ORDER, dtype=object)
+        return lookup[self.error_codes]
+
+    def counts(self) -> Dict[ErrorClass, int]:
+        """Number of codewords per error class."""
+        histogram = np.bincount(self.error_codes, minlength=len(ERROR_CLASS_ORDER))
+        return {cls: int(histogram[code]) for code, cls in enumerate(ERROR_CLASS_ORDER)}
+
+    def result(self, index: int) -> DecodeResult:
+        """The scalar :class:`DecodeResult` view of one decoded codeword."""
+        return DecodeResult(
+            data=self.data_bits[index],
+            error_class=ERROR_CLASS_ORDER[int(self.error_codes[index])],
+            corrected_bit=int(self.corrected_bits[index]),
+        )
 
 
 class SecdedCode:
@@ -75,42 +174,120 @@ class SecdedCode:
         if self._data_positions.shape[0] != self.data_bits:
             raise ConfigurationError("internal SECDED layout error")
 
-    # -- helpers -----------------------------------------------------------
-    @staticmethod
-    def _int_to_bits(value: int, width: int) -> np.ndarray:
-        return np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+        # GF(2) structure, precomputed once so batch encode/decode reduce to
+        # integer matmuls followed by `& 1`:
+        #   * syndrome matrix S (71 x 7): S[c, b] = bit b of Hamming position
+        #     c+1, so syndrome_bits = hamming_bits @ S (mod 2) is the XOR of
+        #     the 1-indexed positions of all set bits;
+        #   * coverage matrix C (64 x 7): C[i, j] = 1 when data position i is
+        #     covered by parity position 2^j, so parity_bits = data @ C (mod 2).
+        bit_index = np.arange(7)
+        self._syndrome_matrix = (
+            (positions[:, None] >> bit_index[None, :]) & 1
+        ).astype(np.int64)
+        self._coverage_matrix = (
+            (self._data_positions[:, None] & self._parity_positions[None, :]) != 0
+        ).astype(np.int64)
+        self._syndrome_weights = (1 << bit_index).astype(np.int64)
 
+    # -- helpers -----------------------------------------------------------
     @staticmethod
     def _bits_to_int(bits: np.ndarray) -> int:
         return int(sum(int(b) << i for i, b in enumerate(bits)))
 
-    def _hamming_syndrome(self, hamming_bits: np.ndarray) -> int:
-        """Syndrome of the 71 Hamming positions (1-indexed positions)."""
-        syndrome = 0
-        for position in np.flatnonzero(hamming_bits) + 1:
-            syndrome ^= int(position)
-        return syndrome
+    def _as_data_bits(self, data: Union[np.ndarray, Iterable[int]]) -> np.ndarray:
+        """Accept either ``(N,)`` uint64 words or an ``(N, 64)`` bit matrix."""
+        arr = np.asarray(data)
+        if arr.ndim == 2:
+            if arr.shape[1] != self.data_bits:
+                raise ConfigurationError(
+                    f"bit matrix must have {self.data_bits} columns, got {arr.shape[1]}"
+                )
+            bits = arr.astype(np.uint8)
+            if np.any(bits > 1):
+                raise ConfigurationError("bit matrix entries must be 0 or 1")
+            return bits
+        return words_to_bits(data)
 
-    # -- API ---------------------------------------------------------------
+    # -- batch API ---------------------------------------------------------
+    def encode_batch(self, data: Union[np.ndarray, Iterable[int]]) -> np.ndarray:
+        """Encode a batch of words into an ``(N, 72)`` codeword matrix.
+
+        ``data`` is either an ``(N,)`` array of 64-bit unsigned integers
+        or an already unpacked ``(N, 64)`` LSB-first bit matrix.
+        """
+        bits = self._as_data_bits(data)
+        n = bits.shape[0]
+        hamming = np.zeros((n, 71), dtype=np.uint8)
+        hamming[:, self._data_positions - 1] = bits
+        parity = (bits.astype(np.int64) @ self._coverage_matrix) & 1
+        hamming[:, self._parity_positions - 1] = parity.astype(np.uint8)
+        codewords = np.empty((n, self.codeword_bits), dtype=np.uint8)
+        codewords[:, :71] = hamming
+        codewords[:, 71] = (hamming.sum(axis=1, dtype=np.int64) & 1).astype(np.uint8)
+        return codewords
+
+    def decode_batch(self, codewords: np.ndarray) -> BatchDecodeResult:
+        """Decode an ``(N, 72)`` block of possibly corrupted codewords.
+
+        Pure array math: one syndrome matmul classifies every word, the
+        correctable rows get their flagged bit flipped in place, and the
+        error classes come out as numeric codes (see
+        :class:`BatchDecodeResult`).  Classification is identical to the
+        scalar :meth:`decode`, bit for bit.
+        """
+        block = np.asarray(codewords, dtype=np.uint8)
+        if block.ndim != 2 or block.shape[1] != self.codeword_bits:
+            raise ConfigurationError(
+                f"codeword block must have shape (N, {self.codeword_bits}), "
+                f"got shape {block.shape}"
+            )
+        hamming = block[:, :71].astype(np.int64)
+        overall_received = block[:, 71].astype(np.int64)
+
+        syndrome = ((hamming @ self._syndrome_matrix) & 1) @ self._syndrome_weights
+        overall_computed = hamming.sum(axis=1) & 1
+        parity_ok = overall_computed == overall_received
+        zero_syndrome = syndrome == 0
+
+        codes = np.empty(block.shape[0], dtype=np.uint8)
+        corrected = np.full(block.shape[0], -1, dtype=np.int64)
+
+        # syndrome == 0, parity consistent: clean word.
+        codes[zero_syndrome & parity_ok] = ERROR_CLASS_CODES[ErrorClass.NO_ERROR]
+        # syndrome == 0, parity violated: the overall parity bit itself flipped.
+        parity_flip = zero_syndrome & ~parity_ok
+        codes[parity_flip] = ERROR_CLASS_CODES[ErrorClass.CORRECTED]
+        corrected[parity_flip] = 71
+        # syndrome != 0, parity violated: odd error count, assume one and
+        # correct it; a syndrome outside 1..71 points outside the code
+        # (miscorrection risk -> silent).
+        odd = ~zero_syndrome & ~parity_ok
+        in_code = odd & (syndrome <= 71)
+        codes[in_code] = ERROR_CLASS_CODES[ErrorClass.CORRECTED]
+        corrected[in_code] = syndrome[in_code] - 1
+        codes[odd & ~in_code] = ERROR_CLASS_CODES[ErrorClass.SILENT]
+        # syndrome != 0, parity consistent: an even (>=2) error count.
+        codes[~zero_syndrome & parity_ok] = ERROR_CLASS_CODES[ErrorClass.UNCORRECTABLE]
+
+        hamming_out = block[:, :71].copy()
+        flip_rows = np.flatnonzero(in_code)
+        if flip_rows.size:
+            hamming_out[flip_rows, syndrome[flip_rows] - 1] ^= 1
+
+        data_bits = hamming_out[:, self._data_positions - 1]
+        return BatchDecodeResult(
+            data_bits=data_bits, error_codes=codes, corrected_bits=corrected
+        )
+
+    # -- scalar API (thin wrappers over one-element batches) ----------------
     def encode(self, data: int) -> np.ndarray:
         """Encode a 64-bit integer into a 72-bit codeword (numpy uint8 array)."""
+        if not isinstance(data, (int, np.integer)) or isinstance(data, bool):
+            raise ConfigurationError("data must be a 64-bit unsigned integer")
         if not 0 <= data < (1 << self.data_bits):
             raise ConfigurationError("data must be a 64-bit unsigned integer")
-        data_bits = self._int_to_bits(data, self.data_bits)
-
-        hamming = np.zeros(71, dtype=np.uint8)
-        hamming[self._data_positions - 1] = data_bits
-        # Each parity bit covers the positions whose index has that bit set.
-        for parity_position in self._parity_positions:
-            covered = [
-                p for p in range(1, 72)
-                if (p & parity_position) and p != parity_position
-            ]
-            hamming[parity_position - 1] = np.bitwise_xor.reduce(
-                hamming[np.array(covered) - 1]
-            )
-        overall = np.bitwise_xor.reduce(hamming)
-        return np.concatenate([hamming, [overall]]).astype(np.uint8)
+        return self.encode_batch(np.array([data], dtype=np.uint64))[0]
 
     def decode(self, codeword: np.ndarray) -> DecodeResult:
         """Decode a possibly corrupted codeword and classify the outcome."""
@@ -119,34 +296,7 @@ class SecdedCode:
             raise ConfigurationError(
                 f"codeword must have {self.codeword_bits} bits, got shape {word.shape}"
             )
-        hamming = word[:71].copy()
-        overall_received = int(word[71])
-        syndrome = self._hamming_syndrome(hamming)
-        overall_computed = int(np.bitwise_xor.reduce(hamming))
-        parity_ok = overall_computed == overall_received
-
-        corrected_bit = -1
-        if syndrome == 0 and parity_ok:
-            error_class = ErrorClass.NO_ERROR
-        elif syndrome == 0 and not parity_ok:
-            # The overall parity bit itself flipped: correctable.
-            error_class = ErrorClass.CORRECTED
-            corrected_bit = 71
-        elif syndrome != 0 and not parity_ok:
-            # Odd number of errors; assume one and correct it.
-            error_class = ErrorClass.CORRECTED
-            if 1 <= syndrome <= 71:
-                hamming[syndrome - 1] ^= 1
-                corrected_bit = syndrome - 1
-            else:   # syndrome points outside the code: miscorrection risk
-                error_class = ErrorClass.SILENT
-        else:
-            # syndrome != 0 and parity consistent: an even (>=2) error count.
-            error_class = ErrorClass.UNCORRECTABLE
-
-        data_bits = hamming[self._data_positions - 1]
-        return DecodeResult(data=data_bits, error_class=error_class,
-                            corrected_bit=corrected_bit)
+        return self.decode_batch(word[None, :]).result(0)
 
     def decode_to_int(self, codeword: np.ndarray) -> Tuple[int, ErrorClass]:
         """Decode and return the data as an integer together with the class."""

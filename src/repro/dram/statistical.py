@@ -270,9 +270,12 @@ class StatisticalErrorModel:
             raise ConfigurationError("duration_s and step_s must be positive")
         final = self.expected_wer(op, behavior, workload)
         tau = self.calibration.convergence_tau_s
+        # Generate the sampling grid as k * step_s rather than accumulating
+        # t += step_s: repeated addition drifts for non-dyadic steps and can
+        # drop the final sample of the run.
+        num_steps = int(math.floor(duration_s / step_s + 1e-9))
         series: Dict[float, float] = {}
-        t = step_s
-        while t <= duration_s + 1e-9:
+        for k in range(1, num_steps + 1):
+            t = k * step_s
             series[t] = final * (1.0 - math.exp(-t / tau))
-            t += step_s
         return series

@@ -30,10 +30,26 @@ class StandardScaler(Transformer):
 
     def fit(self, X: ArrayLike, y: Optional[ArrayLike] = None) -> "StandardScaler":
         X_arr = as_2d_array(X)
-        self.mean_ = X_arr.mean(axis=0) if self.with_mean else np.zeros(X_arr.shape[1])
+        mean = X_arr.mean(axis=0)
+        self.mean_ = mean if self.with_mean else np.zeros(X_arr.shape[1])
         if self.with_std:
             std = X_arr.std(axis=0)
-            std[std == 0.0] = 1.0
+            # A constant column of non-representable values (e.g. 0.1) leaves
+            # a roundoff-sized std (~eps * |mean|); dividing the matching
+            # roundoff residual by it would turn "constant" into +/-1.  Treat
+            # any std at summation-noise scale as zero variance.  numpy's
+            # pairwise summation error grows ~log2(n) * eps relative to the
+            # mean; the factor of 8 is safety margin, and keeping the bound
+            # logarithmic (not linear) in n avoids clamping genuinely varying
+            # columns in large samples.
+            n = X_arr.shape[0]
+            noise_floor = (
+                8.0
+                * (1.0 + np.log2(n))
+                * np.finfo(X_arr.dtype).eps
+                * np.maximum(np.abs(mean), 1.0)
+            )
+            std[std <= noise_floor] = 1.0
             self.scale_ = std
         else:
             self.scale_ = np.ones(X_arr.shape[1])
@@ -67,6 +83,11 @@ class MinMaxScaler(Transformer):
         X_arr = as_2d_array(X)
         self.min_ = X_arr.min(axis=0)
         data_range = X_arr.max(axis=0) - self.min_
+        # Unlike StandardScaler's std, min/max select stored values without
+        # arithmetic, so a constant column yields an exactly zero range and
+        # the exact guard is sufficient.  A roundoff-scale *positive* range
+        # is a real (tiny) spread and still maps cleanly into [0, 1] because
+        # the numerator is bounded by the same range.
         data_range[data_range == 0.0] = 1.0
         self.range_ = data_range
         return self

@@ -3,11 +3,16 @@
 import pytest
 
 from repro import units
-from repro.characterization.campaign import CampaignConfig, CharacterizationCampaign
+from repro.characterization.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CharacterizationCampaign,
+)
 from repro.characterization.experiment import CharacterizationExperiment
 from repro.characterization.metrics import (
     PueSummary,
     UeObservation,
+    WerMeasurement,
     probability_of_uncorrectable,
     rank_ue_distribution,
     word_error_rate,
@@ -209,3 +214,77 @@ class TestCampaign:
         result = CharacterizationCampaign(config=config).run(include_ue_study=False)
         assert result.pue_summaries == []
         assert len(result.wer_measurements) == 8
+
+
+class TestSpreadAggregations:
+    @staticmethod
+    def _result(workload_wers):
+        result = CampaignResult(config=CampaignConfig())
+        for workload, wer in workload_wers:
+            result.wer_measurements.append(WerMeasurement(
+                workload=workload, trefp_s=0.618, vdd_v=units.MIN_VDD_V,
+                temperature_c=50.0, rank=RankLocation(0, 0), wer=wer,
+            ))
+        return result
+
+    def test_workload_spread_ratio(self):
+        result = self._result([("a", 1e-6), ("b", 8e-6), ("c", 2e-6)])
+        assert result.workload_spread(0.618, 50.0) == pytest.approx(8.0)
+
+    def test_workload_spread_ignores_zero_wer_workloads(self):
+        # Regression: a workload measuring WER = 0 at a mild operating point
+        # used to raise ZeroDivisionError; the ratio is taken over the
+        # measurable workloads instead.
+        result = self._result([("a", 0.0), ("b", 2e-6), ("c", 6e-6)])
+        assert result.workload_spread(0.618, 50.0) == pytest.approx(3.0)
+
+    def test_workload_spread_undefined_without_two_positive(self):
+        result = self._result([("a", 0.0), ("b", 2e-6)])
+        with pytest.raises(CharacterizationError):
+            result.workload_spread(0.618, 50.0)
+        all_zero = self._result([("a", 0.0), ("b", 0.0)])
+        with pytest.raises(CharacterizationError):
+            all_zero.workload_spread(0.618, 50.0)
+
+
+class TestMechanismCheck:
+    def test_mechanism_check_observes_real_ecc_events(self):
+        experiment = CharacterizationExperiment(seed=5)
+        op = OperatingPoint.relaxed(2.283, 70.0)
+        check = experiment.mechanism_check(op, num_words=2048)
+        assert check.words == 2048
+        assert sum(check.counts.values()) == 2048
+        assert check.counts[ErrorClass.CORRECTED] > 0
+        assert 0.0 < check.measured_wer <= 1.0
+
+    def test_mechanism_check_entropy_sensitivity(self):
+        # A zero-entropy pattern stores mostly discharge-polarity bits, so
+        # fewer decays are visible than for a dense pattern (Fig. 5 trend).
+        # A stronger-than-default cell population keeps the tiny array away
+        # from saturation, where every word errors regardless of pattern.
+        from repro.dram.calibration import DramCalibration, RetentionCalibration
+        from repro.dram.statistical import WorkloadBehavior
+        experiment = CharacterizationExperiment(seed=5)
+        op = OperatingPoint.relaxed(2.283, 70.0)
+        calibration = DramCalibration(
+            retention=RetentionCalibration(log_median_retention_50c=5.0, log_sigma=1.3)
+        )
+        low = WorkloadBehavior(accesses_per_cycle=0.01, reuse_time_s=1.0,
+                               data_entropy_bits=0.0, footprint_words=10 ** 6)
+        sparse = experiment.mechanism_check(op, behavior=low, num_words=2048,
+                                            calibration=calibration)
+        dense = experiment.mechanism_check(op, num_words=2048,
+                                           calibration=calibration)
+        total = lambda check: sum(
+            count for cls, count in check.counts.items()
+            if cls is not ErrorClass.NO_ERROR
+        )
+        assert total(sparse) < 0.6 * total(dense)
+
+    def test_mechanism_check_validates_arguments(self):
+        experiment = CharacterizationExperiment()
+        op = OperatingPoint.relaxed(2.283, 70.0)
+        with pytest.raises(CharacterizationError):
+            experiment.mechanism_check(op, num_words=0)
+        with pytest.raises(CharacterizationError):
+            experiment.mechanism_check(op, idle_s=0.0)

@@ -120,6 +120,83 @@ class TestCellArraySimulator:
             sim.advance_time(-1.0)
 
 
+class TestBatchCellOps:
+    def test_batch_and_scalar_loops_agree_without_interference(self):
+        """With row hammer off, a burst is exactly a loop of scalar accesses."""
+        def build():
+            config = CellArrayConfig(
+                geometry=small_geometry(), trefp_s=2.283, temperature_c=70.0,
+                interference_strength=0.0, calibration=weak_calibration(), seed=13,
+            )
+            return CellArraySimulator(config)
+
+        values = [0xFFFFFFFFFFFFFFFF ^ i for i in range(600)]
+        batch_sim, scalar_sim = build(), build()
+
+        locations = batch_sim.fill(list(values))
+        batch_sim.idle(600.0)
+        sweep = batch_sim.read_batch(locations, workload="batch")
+
+        for i, value in enumerate(values):
+            scalar_sim.write(scalar_sim.geometry.cell_from_word_index(i), value)
+        scalar_sim.idle(600.0)
+        scalar_results = [
+            scalar_sim.read(location, workload="scalar") for location in locations
+        ]
+
+        assert sum(sweep.counts().values()) == 600
+        for i, scalar in enumerate(scalar_results):
+            batch_word = sweep.decode.result(i)
+            assert batch_word.error_class is scalar.error_class, f"word {i}"
+            assert (batch_word.data == scalar.data).all(), f"word {i}"
+        assert len(batch_sim.error_log) == len(scalar_sim.error_log)
+
+    def test_duplicate_locations_rejected(self):
+        sim = tiny_simulator()
+        location = sim.geometry.cell_from_word_index(0)
+        with pytest.raises(ConfigurationError):
+            sim.write_batch([location, location], [1, 2])
+        sim.write(location, 1)
+        with pytest.raises(ConfigurationError):
+            sim.read_batch([location, location])
+
+    def test_batch_read_of_unwritten_word_raises(self):
+        sim = tiny_simulator()
+        written = sim.geometry.cell_from_word_index(0)
+        unwritten = sim.geometry.cell_from_word_index(1)
+        sim.write(written, 7)
+        with pytest.raises(SimulationError):
+            sim.read_batch([written, unwritten])
+
+    def test_write_batch_length_mismatch_rejected(self):
+        sim = tiny_simulator()
+        with pytest.raises(ConfigurationError):
+            sim.write_batch([sim.geometry.cell_from_word_index(0)], [1, 2])
+
+    def test_write_batch_rejects_out_of_range_data(self):
+        sim = tiny_simulator()
+        location = sim.geometry.cell_from_word_index(0)
+        with pytest.raises(ConfigurationError):
+            sim.write_batch([location], [2 ** 64])
+        with pytest.raises(ConfigurationError):
+            sim.write(location, -1)
+        with pytest.raises(ConfigurationError):
+            sim.write(location, 1.5)
+
+    def test_batch_read_result_reports_error_locations(self):
+        sim = tiny_simulator()
+        locations = sim.fill([0xFFFFFFFFFFFFFFFF] * 1000)
+        sim.idle(600.0)
+        sweep = sim.read_batch(locations, workload="wl")
+        errors = sweep.error_locations()
+        assert len(errors) == sum(
+            count for cls, count in sweep.counts().items() if cls.value != "none"
+        )
+        assert len(errors) == len(sim.error_log)
+        logged = {record.location for record in sim.error_log}
+        assert set(errors) == logged
+
+
 class TestErrorLog:
     def _record(self, dimm=0, rank=0, row=0, column=0, cls=ErrorClass.CORRECTED, t=1.0):
         return ErrorRecord(cls, CellLocation(dimm, rank, 0, row, column), t, "wl")

@@ -208,3 +208,19 @@ class TestStatisticalErrorModel:
         final = series[times[-1]]
         ten_minutes_earlier = series[times[-2]]
         assert abs(final - ten_minutes_earlier) / final < 0.03
+
+    def test_time_series_grid_keeps_final_sample(self, model):
+        # Regression: accumulating `t += step_s` drifts for non-dyadic steps;
+        # a 7200 s run sampled every 0.3 s used to lose its final sample
+        # (23999 points instead of 24000).
+        op = OperatingPoint.relaxed(2.283, 50.0)
+        series = model.wer_time_series(op, behavior(), duration_s=7200.0, step_s=0.3)
+        assert len(series) == 24000
+        assert max(series) == pytest.approx(7200.0)
+
+    def test_time_series_grid_is_exact_multiples_of_step(self, model):
+        op = OperatingPoint.relaxed(2.283, 50.0)
+        series = model.wer_time_series(op, behavior(), duration_s=2.1, step_s=0.7)
+        assert sorted(series) == [1 * 0.7, 2 * 0.7, 3 * 0.7]
+        values = [series[t] for t in sorted(series)]
+        assert values == sorted(values)   # cumulative WER is monotone

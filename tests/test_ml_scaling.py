@@ -31,6 +31,38 @@ class TestStandardScaler:
         scaler = StandardScaler().fit(X)
         assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
 
+    def test_constant_nonzero_column_is_centred_to_zero(self):
+        # Regression (hypothesis counterexample): the mean of three copies of
+        # 0.1 is one ulp off 0.1, leaving std ~ 1e-17 instead of exactly 0;
+        # the old `std == 0.0` guard then divided the matching roundoff
+        # residual by it and returned -1.0 for a constant column.
+        X = np.array([[0.1], [0.1], [0.1]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z, 0.0, atol=1e-9)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_constant_large_magnitude_column_is_centred_to_zero(self):
+        # Same failure mode at the other end of the feature scale: raw
+        # counter values are large, so the roundoff std scales with |mean|.
+        X = np.full((7, 3), [997.7, 1.0e6, -3.3])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z, 0.0, atol=1e-9)
+
+    def test_tiny_but_real_variation_is_preserved(self):
+        X = np.array([[1.0], [1.0 + 1e-6]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.std(axis=0), 1.0)
+
+    def test_large_sample_small_relative_variance_is_not_clamped(self):
+        # The noise floor must stay logarithmic in the sample count: a
+        # linear-in-n bound (n * eps * |mean|) reaches 0.22 here and would
+        # silently treat a real std of 0.05 around mean 1e9 as constant.
+        rng = np.random.default_rng(0)
+        X = 1e9 + rng.normal(0.0, 0.05, size=(1_000_000, 1))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-6)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-6)
+
     def test_transform_before_fit_raises(self):
         with pytest.raises(NotFittedError):
             StandardScaler().transform([[1.0]])

@@ -50,6 +50,47 @@ def test_ecc_detects_any_double_bit_flip(data, positions):
     assert cls is ErrorClass.UNCORRECTABLE
 
 
+@given(
+    words=st.lists(st.integers(min_value=0, max_value=2 ** 64 - 1),
+                   min_size=1, max_size=8),
+    flip_sets=st.lists(
+        st.sets(st.integers(min_value=0, max_value=71), min_size=0, max_size=5),
+        min_size=8, max_size=8,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_batch_codec_matches_scalar_codec_bit_for_bit(words, flip_sets):
+    """encode_batch/decode_batch agree with the scalar API on every word.
+
+    Flip counts 0..5 cover every Table I class — none / 1-bit (including
+    the overall-parity bit at position 71) / 2-bit / multi-bit — and the
+    known-answer cases are additionally pinned against the flip count.
+    """
+    data = np.array(words, dtype=np.uint64)
+    codewords = CODE.encode_batch(data)
+    for row, word in enumerate(words):
+        assert np.array_equal(codewords[row], CODE.encode(word))
+        for position in flip_sets[row]:
+            codewords[row, position] ^= 1
+
+    batch = CODE.decode_batch(codewords)
+    for row, word in enumerate(words):
+        scalar = CODE.decode(codewords[row])
+        view = batch.result(row)
+        assert view.error_class is scalar.error_class
+        assert view.corrected_bit == scalar.corrected_bit
+        assert np.array_equal(batch.data_bits[row], scalar.data)
+        num_flips = len(flip_sets[row])
+        if num_flips == 0:
+            assert scalar.error_class is ErrorClass.NO_ERROR
+            assert int(batch.data_words[row]) == word
+        elif num_flips == 1:
+            assert scalar.error_class is ErrorClass.CORRECTED
+            assert int(batch.data_words[row]) == word
+        elif num_flips == 2:
+            assert scalar.error_class is ErrorClass.UNCORRECTABLE
+
+
 # --------------------------------------------------------------------------
 # Geometry
 # --------------------------------------------------------------------------
