@@ -20,6 +20,8 @@ from repro.dram.calibration import DramCalibration, RetentionCalibration
 from repro.dram.ecc import ERROR_CLASS_ORDER, SecdedCode, bits_to_words
 from repro.dram.geometry import small_geometry
 
+pytestmark = pytest.mark.slow
+
 NUM_WORDS = 10_000
 
 

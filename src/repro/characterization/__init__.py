@@ -10,6 +10,7 @@ from repro.characterization.experiment import CharacterizationExperiment, Experi
 from repro.characterization.metrics import (
     PueSummary,
     UeObservation,
+    WerColumnStore,
     WerMeasurement,
     probability_of_uncorrectable,
     rank_ue_distribution,
@@ -28,6 +29,7 @@ __all__ = [
     "ExperimentResult",
     "PueSummary",
     "UeObservation",
+    "WerColumnStore",
     "WerMeasurement",
     "probability_of_uncorrectable",
     "rank_ue_distribution",

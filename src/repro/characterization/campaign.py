@@ -5,6 +5,26 @@ temperatures (always with the lowered VDD), collects per-rank WER
 measurements and — for the 70 C points — repeats each run several times
 to estimate PUE.  The result object offers the aggregations every figure
 of the evaluation needs.
+
+Grid engine
+-----------
+Both sweeps hand each workload's whole operating-point grid to
+:meth:`CharacterizationExperiment.run_grid` in one call, so the
+expected-WER surface, run-to-run noise, maturity scaling and UE sampling
+are evaluated as array operations instead of per-run Python work.  The
+scalar-vs-batch contract: a grid cell is bit-identical to the scalar
+``experiment.run`` call with the same seed and repetition index (the
+scalar path *is* a one-point grid), and ``tests/test_campaign_grid.py``
+pins that equivalence plus campaign-level determinism.
+``benchmarks/test_campaign_throughput.py`` pins the speedup floor of the
+batched sweep over the scalar loop.
+
+:class:`CampaignResult` keeps the flat ``WerMeasurement`` list as its
+canonical, append-only record of the sweep, but serves the figure-level
+aggregations from a lazily (re)built columnar view
+(:class:`~repro.characterization.metrics.WerColumnStore`): masked vector
+reductions over structured numpy arrays that reproduce the old list-scan
+results exactly.
 """
 
 from __future__ import annotations
@@ -16,7 +36,12 @@ import numpy as np
 
 from repro import units
 from repro.characterization.experiment import CharacterizationExperiment, ExperimentResult
-from repro.characterization.metrics import PueSummary, WerMeasurement, rank_ue_distribution
+from repro.characterization.metrics import (
+    PueSummary,
+    WerColumnStore,
+    WerMeasurement,
+    rank_ue_distribution,
+)
 from repro.characterization.server import XGene2Server
 from repro.dram.geometry import RankLocation
 from repro.dram.operating import OperatingPoint
@@ -41,6 +66,31 @@ class CampaignConfig:
     def resolved_workloads(self) -> Tuple[str, ...]:
         return self.workloads or tuple(campaign_workload_names())
 
+    def wer_operating_points(self) -> List[OperatingPoint]:
+        """The CE study's grid: temperature-major, TREFP-minor, lowered VDD.
+
+        Single source of the sweep order — the campaign, the grid engine
+        callers and the throughput benchmark must all iterate the same
+        points in the same sequence.
+        """
+        return [
+            OperatingPoint(
+                trefp_s=trefp, vdd_v=self.vdd_v, temperature_c=temperature
+            )
+            for temperature in self.temperatures_c
+            for trefp in self.trefp_values_s
+        ]
+
+    def ue_operating_points(self) -> List[OperatingPoint]:
+        """The UE study's grid: the 70 C points, one per UE TREFP value."""
+        return [
+            OperatingPoint(
+                trefp_s=trefp, vdd_v=self.vdd_v,
+                temperature_c=self.ue_temperature_c,
+            )
+            for trefp in self.ue_trefp_values_s
+        ]
+
 
 @dataclass
 class CampaignResult:
@@ -49,36 +99,56 @@ class CampaignResult:
     config: CampaignConfig
     wer_measurements: List[WerMeasurement] = field(default_factory=list)
     pue_summaries: List[PueSummary] = field(default_factory=list)
+    _wer_store: Optional[WerColumnStore] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _wer_store_source: Optional[List[WerMeasurement]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # -- columnar backing store ------------------------------------------------
+    def wer_columns(self) -> WerColumnStore:
+        """Columnar view of ``wer_measurements`` backing the aggregations.
+
+        The view is built lazily and rebuilt whenever the (append-only)
+        measurement list has grown or been replaced wholesale since the
+        last build, so callers may freely interleave appends and
+        aggregation queries.  Any mutation that preserves both the list
+        object and its length (replacing a record in place, pop followed
+        by append, reordering) is invisible to this heuristic — call
+        :meth:`invalidate_wer_columns` after such edits.
+        """
+        if (
+            self._wer_store is None
+            or self._wer_store_source is not self.wer_measurements
+            or len(self._wer_store) != len(self.wer_measurements)
+        ):
+            self._wer_store = WerColumnStore(self.wer_measurements)
+            self._wer_store_source = self.wer_measurements
+        return self._wer_store
+
+    def invalidate_wer_columns(self) -> None:
+        """Force a rebuild of the columnar view on the next aggregation."""
+        self._wer_store = None
+        self._wer_store_source = None
 
     # -- WER aggregations ------------------------------------------------------
     def wer_by_workload(self, trefp_s: float, temperature_c: float) -> Dict[str, float]:
-        """Memory-wide WER per workload at one operating point (Fig. 7a-e bars)."""
-        values: Dict[str, List[float]] = {}
-        for measurement in self.wer_measurements:
-            if _close(measurement.trefp_s, trefp_s) and _close(
-                measurement.temperature_c, temperature_c
-            ):
-                values.setdefault(measurement.workload, []).append(measurement.wer)
-        if not values:
-            raise CharacterizationError(
-                f"no WER measurements at TREFP={trefp_s}s, T={temperature_c}C"
-            )
-        return {workload: float(np.mean(v)) for workload, v in values.items()}
+        """Memory-wide WER per workload at one operating point (Fig. 7a-e bars).
+
+        Raises :class:`CharacterizationError` when the operating point has
+        no measurements.
+        """
+        return self.wer_columns().mean_wer_by_workload(trefp_s, temperature_c)
 
     def wer_by_rank(self, trefp_s: float, temperature_c: float) -> Dict[str, Dict[RankLocation, float]]:
-        """Per-workload, per-rank WER (Fig. 8)."""
-        table: Dict[str, Dict[RankLocation, List[float]]] = {}
-        for measurement in self.wer_measurements:
-            if _close(measurement.trefp_s, trefp_s) and _close(
-                measurement.temperature_c, temperature_c
-            ):
-                table.setdefault(measurement.workload, {}).setdefault(
-                    measurement.rank, []
-                ).append(measurement.wer)
-        return {
-            workload: {rank: float(np.mean(v)) for rank, v in ranks.items()}
-            for workload, ranks in table.items()
-        }
+        """Per-workload, per-rank WER (Fig. 8).
+
+        Raises :class:`CharacterizationError` when the operating point has
+        no measurements — the same contract as :meth:`wer_by_workload`
+        (it used to return ``{}`` silently).
+        """
+        return self.wer_columns().mean_wer_by_workload_rank(trefp_s, temperature_c)
 
     def mean_wer(self, trefp_s: float, temperature_c: float) -> float:
         """WER averaged over all benchmarks at one operating point (Fig. 7f)."""
@@ -158,38 +228,40 @@ class CharacterizationCampaign:
 
     # ------------------------------------------------------------------
     def run_wer_sweep(self, result: CampaignResult) -> None:
-        """The CE study: workloads x TREFP x {50, 60} C (Fig. 7 / Fig. 8)."""
+        """The CE study: workloads x TREFP x {50, 60} C (Fig. 7 / Fig. 8).
+
+        Each workload's whole (temperature x TREFP) grid goes through the
+        batched ``run_grid`` engine in one call; measurements land in the
+        same order the scalar nested loop produced them.
+        """
+        ops = self.config.wer_operating_points()
+        if not ops:
+            return
         for workload in self.config.resolved_workloads():
             profile = profile_workload(workload)
-            for temperature in self.config.temperatures_c:
-                for trefp in self.config.trefp_values_s:
-                    op = OperatingPoint(
-                        trefp_s=trefp, vdd_v=self.config.vdd_v, temperature_c=temperature
-                    )
-                    for repetition in range(self.config.repetitions):
-                        run = self.experiment.run(
-                            workload, op, profile=profile, repetition=repetition
-                        )
-                        result.wer_measurements.extend(run.wer_measurements())
+            grid = self.experiment.run_grid(
+                workload, ops, repetitions=self.config.repetitions, profile=profile
+            )
+            for point_runs in grid:
+                for run in point_runs:
+                    result.wer_measurements.extend(run.wer_measurements())
 
     def run_ue_sweep(self, result: CampaignResult) -> None:
         """The UE study: workloads x TREFP x 70 C, repeated 10 times (Fig. 9)."""
+        ops = self.config.ue_operating_points()
+        if not ops:
+            return
         for workload in self.config.resolved_workloads():
             profile = profile_workload(workload)
-            for trefp in self.config.ue_trefp_values_s:
-                op = OperatingPoint(
-                    trefp_s=trefp,
-                    vdd_v=self.config.vdd_v,
-                    temperature_c=self.config.ue_temperature_c,
-                )
+            grid = self.experiment.run_grid(
+                workload, ops, repetitions=self.config.ue_repetitions, profile=profile
+            )
+            for trefp, point_runs in zip(self.config.ue_trefp_values_s, grid):
                 summary = PueSummary(
                     workload=workload, trefp_s=trefp,
                     temperature_c=self.config.ue_temperature_c,
                 )
-                for repetition in range(self.config.ue_repetitions):
-                    run = self.experiment.run(
-                        workload, op, profile=profile, repetition=repetition
-                    )
+                for repetition, run in enumerate(point_runs):
                     summary.add(run.ue_observation())
                     # WER data from the 70 C runs also feeds the dataset.
                     if repetition == 0:

@@ -1,15 +1,30 @@
-"""A single characterization experiment: one workload, one operating point.
+"""Characterization experiments: one workload on one or many operating points.
 
-This corresponds to one 2-hour run of the paper's campaign: the DIMMs
-are held at the target temperature, TREFP/VDD are configured through
-SLIMpro, the workload runs for two hours, and the ECC error log is
-reduced to the per-rank WER plus (at 70 C) a possible UE crash.
+A scalar :meth:`CharacterizationExperiment.run` corresponds to one
+2-hour run of the paper's campaign: the DIMMs are held at the target
+temperature, TREFP/VDD are configured through SLIMpro, the workload runs
+for two hours, and the ECC error log is reduced to the per-rank WER plus
+(at 70 C) a possible UE crash.
+
+Grid engine
+-----------
+:meth:`CharacterizationExperiment.run_grid` executes a whole batch of
+operating points x repetitions for one workload through the statistical
+model's grid engine: the expected-WER surface is computed once per
+operating point, run-to-run noise and maturity scaling are applied
+array-wide, and UE outcomes are sampled per cell from the same keyed RNG
+streams (``crc32(workload|trefp|temp|repetition|seed)``) the scalar path
+uses.  The scalar-vs-batch contract: ``run`` is a one-point wrapper
+around ``run_grid``, every grid cell is bit-identical to the scalar run
+with the same key, and that equivalence is pinned by
+``tests/test_campaign_grid.py`` — any change to one path must keep the
+other (and the tests) in lockstep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -114,9 +129,94 @@ class CharacterizationExperiment:
             f"{workload}|{op.trefp_s:.6f}|{op.temperature_c:.3f}|{repetition}|{self.seed}"
             .encode("utf-8")
         )
-        return np.random.default_rng(key)
+        # Stream-identical to np.random.default_rng(key) (an int seed goes
+        # through SeedSequence either way) but skips default_rng's dispatch
+        # overhead — this constructor runs once per grid cell.
+        return np.random.Generator(np.random.PCG64(key))
 
     # ------------------------------------------------------------------
+    def run_grid(
+        self,
+        workload: str,
+        ops: Sequence[OperatingPoint],
+        repetitions: Union[int, Sequence[int]] = 1,
+        duration_s: float = units.CHARACTERIZATION_DURATION_S,
+        profile: Optional[WorkloadProfile] = None,
+        collect_time_series: bool = False,
+    ) -> List[List[ExperimentResult]]:
+        """Run one workload over a batch of operating points x repetitions.
+
+        Returns results indexed ``[point][repetition]``.  ``repetitions``
+        is either a count (runs repetition indices ``0..n-1``) or an
+        explicit sequence of repetition indices (how the scalar ``run``
+        wrapper requests a single arbitrary index).  Every cell draws
+        from the same ``crc32``-keyed RNG stream the scalar path would
+        use, so cell ``[p][k]`` is bit-identical to
+        ``run(workload, ops[p], repetition=indices[k])``.
+        """
+        if duration_s <= 0:
+            raise CharacterizationError("duration_s must be positive")
+        if not ops:
+            raise CharacterizationError("ops must contain at least one operating point")
+        if isinstance(repetitions, int):
+            if repetitions < 0:
+                raise CharacterizationError("repetitions must be non-negative")
+            repetition_indices = list(range(repetitions))
+        else:
+            repetition_indices = list(repetitions)
+        behavior = self._behavior(workload, profile)
+        configured = [self.server.configure(op) for op in ops]
+        model = self.server.error_model
+        if not repetition_indices:
+            return [[] for _ in configured]
+
+        rngs = [
+            [self._run_rng(workload, op, repetition) for repetition in repetition_indices]
+            for op in configured
+        ]
+        # The CE and UE models share the per-point retention failure
+        # probabilities — one batched CDF evaluation serves both grids.
+        p_ret = model.retention_bit_failure_probability_grid(configured)
+        # One batched draw per cell: (points, repetitions, ranks), noise and
+        # maturity scaling applied array-wide.
+        wer_grid = model.sample_rank_wer_grid(
+            configured, behavior, workload=workload, rngs=rngs, p_ret=p_ret
+        )
+        # WER keeps accumulating until the run ends; a shorter run only sees
+        # the fraction of error-prone locations discovered so far.
+        maturity = 1.0 - float(np.exp(-duration_s / model.calibration.convergence_tau_s))
+        wer_grid = wer_grid * maturity
+        ue_grid = model.sample_ue_events_grid(
+            configured, behavior, workload=workload, rngs=rngs, p_ret=p_ret
+        )
+
+        ranks = list(self.server.geometry.iter_ranks())
+        results: List[List[ExperimentResult]] = []
+        for p, op in enumerate(configured):
+            time_series: Dict[float, float] = {}
+            if collect_time_series:
+                time_series = model.wer_time_series(
+                    op, behavior, duration_s=duration_s, workload=workload
+                )
+            point_results = []
+            # .tolist() converts a whole repetition row to Python floats in
+            # one C pass — the per-element float() indexing used to cost as
+            # much as the draws themselves.
+            point_wers = wer_grid[p].tolist()
+            for k in range(len(repetition_indices)):
+                point_results.append(
+                    ExperimentResult(
+                        workload=workload,
+                        operating_point=op,
+                        duration_s=duration_s,
+                        rank_wer=dict(zip(ranks, point_wers[k])),
+                        wer_time_series=dict(time_series) if time_series else {},
+                        ue_rank=ue_grid[p][k],
+                    )
+                )
+            results.append(point_results)
+        return results
+
     def run(
         self,
         workload: str,
@@ -126,39 +226,19 @@ class CharacterizationExperiment:
         repetition: int = 0,
         collect_time_series: bool = False,
     ) -> ExperimentResult:
-        """Execute one 2-hour characterization run and collect its metrics."""
-        if duration_s <= 0:
-            raise CharacterizationError("duration_s must be positive")
-        behavior = self._behavior(workload, profile)
-        configured = self.server.configure(op)
-        model = self.server.error_model
-        rng = self._run_rng(workload, configured, repetition)
+        """Execute one 2-hour characterization run and collect its metrics.
 
-        rank_wer = {
-            rank: model.sample_rank_wer(configured, behavior, rank, workload, rng=rng)
-            for rank in self.server.geometry.iter_ranks()
-        }
-        # WER keeps accumulating until the run ends; a shorter run only sees
-        # the fraction of error-prone locations discovered so far.
-        maturity = 1.0 - float(np.exp(-duration_s / model.calibration.convergence_tau_s))
-        rank_wer = {rank: wer * maturity for rank, wer in rank_wer.items()}
-
-        ue_rank = model.sample_ue_event(configured, behavior, workload, rng=rng)
-
-        time_series: Dict[float, float] = {}
-        if collect_time_series:
-            time_series = model.wer_time_series(
-                configured, behavior, duration_s=duration_s, workload=workload
-            )
-
-        return ExperimentResult(
-            workload=workload,
-            operating_point=configured,
+        One-point wrapper over :meth:`run_grid`; the grid engine is the
+        single implementation of the measurement core.
+        """
+        return self.run_grid(
+            workload,
+            [op],
+            repetitions=(repetition,),
             duration_s=duration_s,
-            rank_wer=rank_wer,
-            wer_time_series=time_series,
-            ue_rank=ue_rank,
-        )
+            profile=profile,
+            collect_time_series=collect_time_series,
+        )[0][0]
 
     # ------------------------------------------------------------------
     def mechanism_check(

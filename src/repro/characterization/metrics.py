@@ -1,15 +1,25 @@
-"""DRAM error metrics: WER (Eq. 2) and PUE (Eq. 3)."""
+"""DRAM error metrics: WER (Eq. 2) and PUE (Eq. 3).
+
+Besides the scalar metric definitions and the flat per-run record types,
+this module hosts :class:`WerColumnStore` — the columnar backing store a
+:class:`~repro.characterization.campaign.CampaignResult` builds over its
+``WerMeasurement`` list so the figure-level aggregations (per-workload,
+per-rank, spreads) run as masked vector reductions instead of Python
+list scans.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from repro import units
 from repro.dram.ecc import ErrorClass
 from repro.dram.geometry import RankLocation
 from repro.dram.records import ErrorLog
-from repro.errors import DataError
+from repro.errors import CharacterizationError, DataError
 
 
 def word_error_rate(unique_ce_words: int, footprint_words: int) -> float:
@@ -109,6 +119,111 @@ class PueSummary:
     @property
     def pue(self) -> float:
         return probability_of_uncorrectable(self.crashed_runs, self.total_runs)
+
+
+class WerColumnStore:
+    """Columnar view of a sequence of :class:`WerMeasurement` records.
+
+    Measurements are packed once into a structured numpy array (workload
+    and rank dictionary-encoded as integer codes, operating point and WER
+    as float64 columns); every aggregation is then a masked vector
+    reduction.  Group means are taken with ``np.mean`` over the masked
+    values in record order, so they match the old list-scan
+    implementations bit for bit, and group keys are emitted in first-
+    appearance order — the order the list scans produced.
+    """
+
+    DTYPE = np.dtype([
+        ("workload", np.int32),
+        ("trefp_s", np.float64),
+        ("temperature_c", np.float64),
+        ("rank", np.int32),
+        ("wer", np.float64),
+    ])
+
+    def __init__(self, measurements: Sequence[WerMeasurement]) -> None:
+        self._workloads: List[str] = []
+        self._ranks: List[RankLocation] = []
+        workload_codes: Dict[str, int] = {}
+        rank_codes: Dict[RankLocation, int] = {}
+        rows = np.empty(len(measurements), dtype=self.DTYPE)
+        for i, m in enumerate(measurements):
+            wcode = workload_codes.get(m.workload)
+            if wcode is None:
+                wcode = workload_codes[m.workload] = len(self._workloads)
+                self._workloads.append(m.workload)
+            rcode = rank_codes.get(m.rank)
+            if rcode is None:
+                rcode = rank_codes[m.rank] = len(self._ranks)
+                self._ranks.append(m.rank)
+            rows[i] = (wcode, m.trefp_s, m.temperature_c, rcode, m.wer)
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def workloads(self) -> List[str]:
+        """Workload names in first-appearance order (code -> name)."""
+        return list(self._workloads)
+
+    @property
+    def ranks(self) -> List[RankLocation]:
+        """Rank locations in first-appearance order (code -> location)."""
+        return list(self._ranks)
+
+    # ------------------------------------------------------------------
+    def point_mask(
+        self, trefp_s: float, temperature_c: float, tolerance: float = 1e-9
+    ) -> np.ndarray:
+        """Boolean row mask selecting one operating point of the sweep."""
+        return (np.abs(self.rows["trefp_s"] - trefp_s) <= tolerance) & (
+            np.abs(self.rows["temperature_c"] - temperature_c) <= tolerance
+        )
+
+    def _masked_point(self, trefp_s: float, temperature_c: float) -> np.ndarray:
+        mask = self.point_mask(trefp_s, temperature_c)
+        if not mask.any():
+            raise CharacterizationError(
+                f"no WER measurements at TREFP={trefp_s}s, T={temperature_c}C"
+            )
+        return self.rows[mask]
+
+    @staticmethod
+    def _first_appearance(codes: np.ndarray) -> np.ndarray:
+        """Unique codes ordered by their first occurrence in ``codes``."""
+        _, first = np.unique(codes, return_index=True)
+        return codes[np.sort(first)]
+
+    def mean_wer_by_workload(
+        self, trefp_s: float, temperature_c: float
+    ) -> Dict[str, float]:
+        """Per-workload mean WER at one operating point."""
+        selected = self._masked_point(trefp_s, temperature_c)
+        codes = selected["workload"]
+        wers = selected["wer"]
+        return {
+            self._workloads[code]: float(np.mean(wers[codes == code]))
+            for code in self._first_appearance(codes)
+        }
+
+    def mean_wer_by_workload_rank(
+        self, trefp_s: float, temperature_c: float
+    ) -> Dict[str, Dict[RankLocation, float]]:
+        """Per-workload, per-rank mean WER at one operating point."""
+        selected = self._masked_point(trefp_s, temperature_c)
+        codes = selected["workload"]
+        table: Dict[str, Dict[RankLocation, float]] = {}
+        for code in self._first_appearance(codes):
+            of_workload = selected[codes == code]
+            rank_codes = of_workload["rank"]
+            table[self._workloads[code]] = {
+                self._ranks[rank_code]: float(
+                    np.mean(of_workload["wer"][rank_codes == rank_code])
+                )
+                for rank_code in self._first_appearance(rank_codes)
+            }
+        return table
 
 
 def rank_ue_distribution(summaries: Iterable[PueSummary]) -> Dict[RankLocation, float]:

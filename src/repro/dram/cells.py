@@ -56,12 +56,15 @@ from repro.dram.ecc import (
     SecdedCode,
 )
 from repro.dram.geometry import CellLocation, DramGeometry, small_geometry
-from repro.dram.records import ErrorLog, ErrorRecord
+from repro.dram.records import ErrorLog
 from repro.dram.retention import sample_retention_times
 from repro.errors import ConfigurationError, SimulationError
 
 _NO_ERROR_CODE = ERROR_CLASS_CODES[ErrorClass.NO_ERROR]
 _CORRECTED_CODE = ERROR_CLASS_CODES[ErrorClass.CORRECTED]
+#: decode-code -> ErrorClass lookup as an object array, so a whole batch of
+#: error codes maps to classes in one fancy-indexing operation
+_ERROR_CLASS_BY_CODE = np.array(ERROR_CLASS_ORDER, dtype=object)
 
 
 @dataclass
@@ -267,14 +270,18 @@ class CellArraySimulator:
         decayed = np.where(leaked, self.discharge_value[words], stored).astype(np.uint8)
 
         decode = self._code.decode_batch(decayed)
-        for row in np.flatnonzero(decode.error_codes != _NO_ERROR_CODE):
-            self.error_log.append(
-                ErrorRecord(
-                    error_class=ERROR_CLASS_ORDER[int(decode.error_codes[row])],
-                    location=locations[row],
-                    timestamp_s=self.now_s,
-                    workload=workload,
-                )
+        # Error logging is columnar: classes come from one fancy-indexing pass
+        # and the log ingests the whole burst at once — no per-event record
+        # objects, which used to dominate saturated sweeps with dense errors.
+        error_rows = np.flatnonzero(decode.error_codes != _NO_ERROR_CODE)
+        if error_rows.size:
+            self.error_log.append_batch(
+                error_classes=_ERROR_CLASS_BY_CODE[
+                    decode.error_codes[error_rows]
+                ].tolist(),
+                locations=[locations[row] for row in error_rows.tolist()],
+                timestamp_s=self.now_s,
+                workload=workload,
             )
 
         # Scrub-on-read: corrected words are written back as valid codewords;

@@ -4,13 +4,23 @@ On the X-Gene2, the SLIMpro management core reports every ECC event to
 the kernel together with the DIMM, rank, bank, row and column where it
 occurred.  :class:`ErrorLog` is the software equivalent: an append-only
 log that the characterization framework queries to compute WER and PUE.
+
+The log stores events in columnar form (parallel class/location/
+timestamp/workload columns): the cell-array simulator's burst reads
+append a whole batch of events per sweep via :meth:`ErrorLog.append_batch`
+without constructing one :class:`ErrorRecord` object per event — the
+per-object cost used to dominate saturated sweeps where nearly every
+word errors.  ``ErrorRecord`` views are materialised lazily (and cached)
+only when a caller iterates the log or asks for ``records()``; the
+quantitative queries (counts, unique words, timelines) run straight off
+the columns.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.dram.ecc import ErrorClass
 from repro.dram.geometry import CellLocation, RankLocation
@@ -38,36 +48,97 @@ class ErrorRecord:
 
 
 class ErrorLog:
-    """Append-only log of ECC events with the queries the study needs."""
+    """Append-only columnar log of ECC events with the queries the study needs.
+
+    Events live in parallel columns; :class:`ErrorRecord` objects are
+    materialised lazily for record-returning APIs and cached until the
+    log grows.  Batch producers (the cell-array burst reads) use
+    :meth:`append_batch`, which validates once per batch instead of once
+    per event.
+    """
 
     def __init__(self) -> None:
-        self._records: List[ErrorRecord] = []
+        self._classes: List[ErrorClass] = []
+        self._locations: List[CellLocation] = []
+        self._timestamps: List[float] = []
+        self._workloads: List[str] = []
+        self._materialized: Optional[List[ErrorRecord]] = None
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._classes)
 
     def __iter__(self):
-        return iter(self._records)
+        return iter(self._all_records())
+
+    def _all_records(self) -> List[ErrorRecord]:
+        if self._materialized is None or len(self._materialized) != len(self._classes):
+            self._materialized = [
+                ErrorRecord(
+                    error_class=cls, location=loc, timestamp_s=t, workload=wl
+                )
+                for cls, loc, t, wl in zip(
+                    self._classes, self._locations, self._timestamps, self._workloads
+                )
+            ]
+        return self._materialized
 
     def append(self, record: ErrorRecord) -> None:
-        self._records.append(record)
+        self._classes.append(record.error_class)
+        self._locations.append(record.location)
+        self._timestamps.append(record.timestamp_s)
+        self._workloads.append(record.workload)
+        if self._materialized is not None:
+            self._materialized.append(record)
 
     def extend(self, records: Iterable[ErrorRecord]) -> None:
         for record in records:
             self.append(record)
 
+    def append_batch(
+        self,
+        error_classes: Sequence[ErrorClass],
+        locations: Sequence[CellLocation],
+        timestamp_s: float,
+        workload: str = "",
+    ) -> None:
+        """Append one burst's events without per-event record objects.
+
+        All events of a burst share one timestamp and workload, so the
+        :class:`ErrorRecord` invariants are checked once for the whole
+        batch.
+        """
+        if len(error_classes) != len(locations):
+            raise ConfigurationError(
+                "error_classes and locations must have equal length"
+            )
+        if timestamp_s < 0:
+            raise ConfigurationError("timestamp_s must be non-negative")
+        if any(cls is ErrorClass.NO_ERROR for cls in error_classes):
+            raise ConfigurationError("ErrorRecord must describe an actual error")
+        self._classes.extend(error_classes)
+        self._locations.extend(locations)
+        self._timestamps.extend([timestamp_s] * len(locations))
+        self._workloads.extend([workload] * len(locations))
+        self._materialized = None
+
     def clear(self) -> None:
-        self._records.clear()
+        self._classes.clear()
+        self._locations.clear()
+        self._timestamps.clear()
+        self._workloads.clear()
+        self._materialized = None
 
     # -- queries -----------------------------------------------------------
     def records(self, error_class: Optional[ErrorClass] = None) -> List[ErrorRecord]:
         """All records, optionally filtered by error class."""
         if error_class is None:
-            return list(self._records)
-        return [r for r in self._records if r.error_class is error_class]
+            return list(self._all_records())
+        return [r for r in self._all_records() if r.error_class is error_class]
 
     def count(self, error_class: Optional[ErrorClass] = None) -> int:
-        return len(self.records(error_class))
+        if error_class is None:
+            return len(self._classes)
+        return sum(1 for cls in self._classes if cls is error_class)
 
     def unique_word_locations(
         self, error_class: ErrorClass = ErrorClass.CORRECTED
@@ -77,36 +148,50 @@ class ErrorLog:
         WER counts *unique* erroneous word locations (Eq. 2), so repeated
         CEs at the same address contribute once.
         """
-        return {r.location for r in self._records if r.error_class is error_class}
+        return {
+            loc
+            for cls, loc in zip(self._classes, self._locations)
+            if cls is error_class
+        }
 
     def unique_words_by_rank(
         self, error_class: ErrorClass = ErrorClass.CORRECTED
     ) -> Dict[RankLocation, int]:
         """Number of distinct erroneous words per DIMM/rank (Fig. 8)."""
         per_rank: Dict[RankLocation, Set[CellLocation]] = {}
-        for record in self._records:
-            if record.error_class is error_class:
-                per_rank.setdefault(record.rank_location, set()).add(record.location)
+        for cls, loc in zip(self._classes, self._locations):
+            if cls is error_class:
+                per_rank.setdefault(loc.rank_location, set()).add(loc)
         return {rank: len(words) for rank, words in per_rank.items()}
 
     def counts_by_rank(self, error_class: ErrorClass) -> Dict[RankLocation, int]:
         """Raw event counts per DIMM/rank."""
         counter: Counter = Counter()
-        for record in self._records:
-            if record.error_class is error_class:
-                counter[record.rank_location] += 1
+        for cls, loc in zip(self._classes, self._locations):
+            if cls is error_class:
+                counter[loc.rank_location] += 1
         return dict(counter)
 
     def has_uncorrectable(self) -> bool:
         """True when the log contains at least one UE (the run crashed)."""
-        return any(r.error_class is ErrorClass.UNCORRECTABLE for r in self._records)
+        return any(cls is ErrorClass.UNCORRECTABLE for cls in self._classes)
 
     def first_uncorrectable(self) -> Optional[ErrorRecord]:
         """The earliest UE in the log, if any."""
-        ues = self.records(ErrorClass.UNCORRECTABLE)
-        if not ues:
+        best: Optional[int] = None
+        for i, cls in enumerate(self._classes):
+            if cls is ErrorClass.UNCORRECTABLE and (
+                best is None or self._timestamps[i] < self._timestamps[best]
+            ):
+                best = i
+        if best is None:
             return None
-        return min(ues, key=lambda r: r.timestamp_s)
+        return ErrorRecord(
+            error_class=self._classes[best],
+            location=self._locations[best],
+            timestamp_s=self._timestamps[best],
+            workload=self._workloads[best],
+        )
 
     def timeline(
         self, error_class: ErrorClass = ErrorClass.CORRECTED, bucket_s: float = 600.0
@@ -119,19 +204,25 @@ class ErrorLog:
         if bucket_s <= 0:
             raise ConfigurationError("bucket_s must be positive")
         relevant = sorted(
-            (r for r in self._records if r.error_class is error_class),
-            key=lambda r: r.timestamp_s,
+            (
+                (t, loc)
+                for cls, loc, t in zip(
+                    self._classes, self._locations, self._timestamps
+                )
+                if cls is error_class
+            ),
+            key=lambda pair: pair[0],
         )
         if not relevant:
             return []
-        end = relevant[-1].timestamp_s
+        end = relevant[-1][0]
         buckets: List[Tuple[float, int]] = []
         seen: Set[CellLocation] = set()
         index = 0
         t = bucket_s
         while t <= end + bucket_s:
-            while index < len(relevant) and relevant[index].timestamp_s <= t:
-                seen.add(relevant[index].location)
+            while index < len(relevant) and relevant[index][0] <= t:
+                seen.add(relevant[index][1])
                 index += 1
             buckets.append((t, len(seen)))
             if t > end:

@@ -44,6 +44,24 @@ def median_retention_s(
     return math.exp(log_median_retention(temperature_c, vdd_v, calibration))
 
 
+def _failure_z_score(
+    effective_refresh_s: float,
+    temperature_c: float,
+    vdd_v: float,
+    cal: RetentionCalibration,
+) -> float:
+    """Standardised log-retention z-score of one operating point.
+
+    Shared by the scalar and grid failure-probability paths: both must
+    produce bit-identical values, so the guard and the ``math.log``
+    arithmetic exist exactly once.
+    """
+    if effective_refresh_s <= 0:
+        raise ConfigurationError("effective_refresh_s must be positive")
+    mu = log_median_retention(temperature_c, vdd_v, cal)
+    return (math.log(effective_refresh_s) - mu) / cal.log_sigma
+
+
 def bit_failure_probability(
     effective_refresh_s: float,
     temperature_c: float,
@@ -57,12 +75,41 @@ def bit_failure_probability(
     the operating point further into the retention-time tail, which is
     what produces the exponential growth of WER with TREFP (Fig. 7f).
     """
-    if effective_refresh_s <= 0:
-        raise ConfigurationError("effective_refresh_s must be positive")
     cal = calibration or DEFAULT_CALIBRATION.retention
-    mu = log_median_retention(temperature_c, vdd_v, cal)
-    z = (math.log(effective_refresh_s) - mu) / cal.log_sigma
+    z = _failure_z_score(effective_refresh_s, temperature_c, vdd_v, cal)
     return float(stats.norm.cdf(z))
+
+
+def bit_failure_probability_grid(
+    effective_refresh_s,
+    temperature_c,
+    vdd_v=1.5,
+    calibration: Optional[RetentionCalibration] = None,
+) -> np.ndarray:
+    """Vectorized :func:`bit_failure_probability` over a grid of points.
+
+    ``effective_refresh_s``, ``temperature_c`` and ``vdd_v`` are
+    broadcast against each other.  Each z-score is computed with the
+    same per-point scalar arithmetic as the scalar function (``math.log``
+    and ``math.exp`` differ from their numpy ufunc counterparts in the
+    last ulp, so the cheap per-point math stays scalar); only the
+    normal-CDF evaluation — the expensive part, one scipy call per grid
+    instead of per point — is batched, and ``ndtr`` is elementwise
+    consistent between scalar and array arguments.  Every entry is
+    therefore bit-identical to the scalar call.
+    """
+    cal = calibration or DEFAULT_CALIBRATION.retention
+    refresh, temps, vdds = np.broadcast_arrays(
+        np.asarray(effective_refresh_s, dtype=float),
+        np.asarray(temperature_c, dtype=float),
+        np.asarray(vdd_v, dtype=float),
+    )
+    z = np.empty(refresh.shape, dtype=float)
+    for index in np.ndindex(refresh.shape):
+        z[index] = _failure_z_score(
+            float(refresh[index]), float(temps[index]), float(vdds[index]), cal
+        )
+    return np.asarray(stats.norm.cdf(z), dtype=float)
 
 
 def sample_retention_times(

@@ -14,6 +14,22 @@ feature vector cannot explain (exact physical page placement, allocator
 behaviour, micro-architectural noise).  It is what bounds the accuracy a
 perfect ML model can reach, mirroring the ~10 % residual error of the
 paper's best model.
+
+Grid engine
+-----------
+Campaign sweeps evaluate the model on a dense grid of operating points:
+``sample_rank_wer_grid`` and ``sample_ue_events_grid`` take a sequence of
+operating points plus a (points x repetitions) matrix of RNG streams and
+sample every (point, repetition, rank) cell in batched numpy draws.  The
+scalar ``sample_rank_wer`` / ``sample_ue_event`` remain the reference
+implementations; the grid methods consume each cell's RNG stream in
+exactly the scalar order (one normal per rank, then one uniform, then —
+only on a crash — one categorical draw) and share the same ``np.exp``
+noise kernel, so a grid cell is bit-identical to the corresponding
+scalar call with the same generator.  The expensive deterministic
+factors (retention CDF, per-rank variation, idiosyncratic draws) are
+hoisted out of the per-cell work: they are computed once per operating
+point and once per rank instead of once per (point, repetition, rank).
 """
 
 from __future__ import annotations
@@ -21,7 +37,7 @@ from __future__ import annotations
 import math
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,7 +45,7 @@ from repro import units
 from repro.dram.calibration import DEFAULT_CALIBRATION, DramCalibration
 from repro.dram.geometry import DramGeometry, RankLocation
 from repro.dram.operating import OperatingPoint
-from repro.dram.retention import bit_failure_probability
+from repro.dram.retention import bit_failure_probability, bit_failure_probability_grid
 from repro.dram.variation import VariationProfile
 from repro.errors import ConfigurationError
 
@@ -99,6 +115,22 @@ class StatisticalErrorModel:
             op.trefp_s, op.temperature_c, op.vdd_v, self.calibration.retention
         )
 
+    def retention_bit_failure_probability_grid(
+        self, ops: Sequence[OperatingPoint]
+    ) -> np.ndarray:
+        """Per-point retention failure probabilities with one batched CDF call.
+
+        The normal-CDF evaluation dominates the scalar hot path (~40 us
+        of scipy dispatch per call, independent of size), so the grid
+        engine evaluates it once for all operating points.
+        """
+        return bit_failure_probability_grid(
+            [op.trefp_s for op in ops],
+            [op.temperature_c for op in ops],
+            [op.vdd_v for op in ops],
+            self.calibration.retention,
+        )
+
     def implicit_refresh_fraction(
         self, behavior: WorkloadBehavior, op: OperatingPoint
     ) -> float:
@@ -137,12 +169,16 @@ class StatisticalErrorModel:
     # ------------------------------------------------------------------
     # correctable errors (WER)
     # ------------------------------------------------------------------
-    def word_ce_probability(
-        self, op: OperatingPoint, behavior: WorkloadBehavior
+    def _word_ce_probability_from_p_ret(
+        self, p_ret: float, op: OperatingPoint, behavior: WorkloadBehavior
     ) -> float:
-        """Probability that a 64-bit word manifests a (unique) CE in a run."""
+        """CE probability given a precomputed retention failure probability.
+
+        Shared per-point arithmetic of the scalar and grid paths — both
+        must produce bit-identical values, so there is exactly one
+        implementation.
+        """
         cal = self.calibration.workload
-        p_ret = self.retention_bit_failure_probability(op)
         refresh_fraction = self.implicit_refresh_fraction(behavior, op)
         suppression = 1.0 - refresh_fraction * (1.0 - cal.implicit_refresh_residual)
         pattern = self.data_pattern_factor(behavior)
@@ -153,6 +189,36 @@ class StatisticalErrorModel:
         # Unique CE words: at least one failing data bit (64 bits per word).
         p_word = 1.0 - (1.0 - p_bit) ** units.WORD_BITS
         return float(min(p_word, 1.0))
+
+    def word_ce_probability(
+        self, op: OperatingPoint, behavior: WorkloadBehavior
+    ) -> float:
+        """Probability that a 64-bit word manifests a (unique) CE in a run."""
+        return self._word_ce_probability_from_p_ret(
+            self.retention_bit_failure_probability(op), op, behavior
+        )
+
+    def word_ce_probability_grid(
+        self,
+        ops: Sequence[OperatingPoint],
+        behavior: WorkloadBehavior,
+        p_ret: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """CE probability for many operating points, as a (points,) array.
+
+        ``p_ret`` lets a caller share one batched retention-CDF
+        evaluation between the CE and UE grids (both depend on the same
+        per-point probabilities).
+        """
+        if p_ret is None:
+            p_ret = self.retention_bit_failure_probability_grid(ops)
+        return np.array(
+            [
+                self._word_ce_probability_from_p_ret(float(p), op, behavior)
+                for p, op in zip(p_ret, ops)
+            ],
+            dtype=np.float64,
+        )
 
     def expected_rank_wer(
         self,
@@ -184,24 +250,191 @@ class StatisticalErrorModel:
         workload: str = "",
         rng: Optional[np.random.Generator] = None,
     ) -> float:
-        """One measured per-rank WER, with run-to-run (VRT) noise applied."""
+        """One measured per-rank WER, with run-to-run (VRT) noise applied.
+
+        The noise kernel is ``np.exp`` (not ``math.exp``): the grid path
+        exponentiates whole arrays, and the two libms differ in the last
+        ulp for a few percent of arguments, so the scalar reference must
+        use the same implementation for grid cells to be bit-identical.
+        """
         generator = rng or np.random.default_rng()
         expected = self.expected_rank_wer(op, behavior, rank, workload)
-        noise = math.exp(
+        noise = float(np.exp(
             self.calibration.workload.run_to_run_sigma * generator.standard_normal()
-        )
+        ))
         return expected * noise
+
+    # ------------------------------------------------------------------
+    # grid engine (batched operating points)
+    # ------------------------------------------------------------------
+    def expected_rank_wer_grid(
+        self,
+        ops: Sequence[OperatingPoint],
+        behavior: WorkloadBehavior,
+        workload: str = "",
+        p_ret: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Expected per-rank WER for many operating points, as (points, ranks).
+
+        The workload/operating-point term (``word_ce_probability``, one
+        retention-CDF evaluation per point) and the per-rank terms
+        (variation factor, idiosyncratic factor) are each computed once
+        and combined by broadcasting — in the same multiplication order
+        as :meth:`expected_rank_wer`, so every entry is bit-identical to
+        the scalar call.
+        """
+        if not ops:
+            raise ConfigurationError("ops must contain at least one operating point")
+        base = self.word_ce_probability_grid(ops, behavior, p_ret=p_ret)
+        ranks = list(self.geometry.iter_ranks())
+        factors = np.array(
+            [self.variation.wer_factor(rank) for rank in ranks], dtype=np.float64
+        )
+        idiosyncratic = np.array(
+            [self._idiosyncratic_factor(workload, rank) for rank in ranks],
+            dtype=np.float64,
+        )
+        return base[:, None] * factors[None, :] * idiosyncratic[None, :]
+
+    @staticmethod
+    def _validated_rng_grid(
+        rngs: Sequence[Sequence[np.random.Generator]], num_points: int
+    ) -> List[Sequence[np.random.Generator]]:
+        grid = [list(row) for row in rngs]
+        if len(grid) != num_points:
+            raise ConfigurationError(
+                f"rngs must provide one row per operating point: expected "
+                f"{num_points} rows, got {len(grid)}"
+            )
+        if grid and any(len(row) != len(grid[0]) for row in grid):
+            raise ConfigurationError("rngs rows must all have the same length")
+        return grid
+
+    def sample_rank_wer_grid(
+        self,
+        ops: Sequence[OperatingPoint],
+        behavior: WorkloadBehavior,
+        workload: str = "",
+        rngs: Optional[Sequence[Sequence[np.random.Generator]]] = None,
+        repetitions: int = 1,
+        p_ret: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Sampled per-rank WER grid, as (points, repetitions, ranks).
+
+        ``rngs`` is a (points x repetitions) matrix of generators — one
+        independent stream per grid cell, typically keyed the way
+        :meth:`CharacterizationExperiment._run_rng` keys scalar runs.
+        Each cell draws its per-rank normals in one batched call, which
+        consumes the generator's stream exactly like ``ranks`` sequential
+        scalar draws; with the same streams the result is bit-identical
+        to looping :meth:`sample_rank_wer`.  Without ``rngs``, fresh
+        unseeded generators are used (``repetitions`` cells per point).
+        """
+        ops = list(ops)
+        expected = self.expected_rank_wer_grid(ops, behavior, workload, p_ret=p_ret)
+        if rngs is None:
+            if repetitions <= 0:
+                raise ConfigurationError("repetitions must be positive")
+            rngs = [
+                [np.random.default_rng() for _ in range(repetitions)] for _ in ops
+            ]
+        grid = self._validated_rng_grid(rngs, len(ops))
+        num_reps = len(grid[0]) if grid else 0
+        num_ranks = expected.shape[1]
+        normals = np.empty((len(ops), num_reps, num_ranks), dtype=np.float64)
+        for p, row in enumerate(grid):
+            for k, generator in enumerate(row):
+                normals[p, k] = generator.standard_normal(num_ranks)
+        noise = np.exp(self.calibration.workload.run_to_run_sigma * normals)
+        return expected[:, None, :] * noise
+
+    def probability_of_ue_grid(
+        self,
+        ops: Sequence[OperatingPoint],
+        behavior: WorkloadBehavior,
+        workload: str = "",
+        p_ret: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """PUE (Eq. 3) for many operating points, as a (points,) array.
+
+        The expected-count grid shares one batched retention-CDF call;
+        the final ``1 - exp(-lam)`` stays per-point scalar math so every
+        entry is bit-identical to :meth:`probability_of_ue`.
+        """
+        if not ops:
+            raise ConfigurationError("ops must contain at least one operating point")
+        lam = self.expected_ue_count_grid(ops, behavior, workload, p_ret=p_ret)
+        return np.array(
+            [float(1.0 - math.exp(-value)) for value in lam], dtype=np.float64
+        )
+
+    def sample_ue_events_grid(
+        self,
+        ops: Sequence[OperatingPoint],
+        behavior: WorkloadBehavior,
+        workload: str = "",
+        rngs: Optional[Sequence[Sequence[np.random.Generator]]] = None,
+        repetitions: int = 1,
+        p_ret: Optional[np.ndarray] = None,
+    ) -> List[List[Optional[RankLocation]]]:
+        """Sample UE outcomes for every grid cell, as (points, repetitions).
+
+        PUE is computed once per operating point instead of once per
+        cell; each cell then consumes its stream exactly like
+        :meth:`sample_ue_event` (one uniform, plus one categorical draw
+        only when the run crashes).  Pass the same ``rngs`` matrix used
+        for :meth:`sample_rank_wer_grid` — after the per-rank normals
+        each generator sits at the position the scalar path's UE draw
+        would see, so outcomes are bit-identical.  Without ``rngs``,
+        fresh unseeded generators are used (``repetitions`` cells per
+        point, mirroring :meth:`sample_rank_wer_grid`).
+        """
+        ops = list(ops)
+        pue = self.probability_of_ue_grid(ops, behavior, workload, p_ret=p_ret)
+        if rngs is None:
+            if repetitions <= 0:
+                raise ConfigurationError("repetitions must be positive")
+            rngs = [
+                [np.random.default_rng() for _ in range(repetitions)] for _ in ops
+            ]
+        grid = self._validated_rng_grid(rngs, len(ops))
+        weights = self.variation.normalized_ue_weights()
+        ranks = list(weights.keys())
+        probabilities = np.array([weights[rank] for rank in ranks])
+        events: List[List[Optional[RankLocation]]] = []
+        pue_values = pue.tolist()
+        for p, row in enumerate(grid):
+            point_pue = pue_values[p]
+            outcomes: List[Optional[RankLocation]] = []
+            for generator in row:
+                if generator.random() >= point_pue:
+                    outcomes.append(None)
+                else:
+                    index = generator.choice(len(ranks), p=probabilities)
+                    outcomes.append(ranks[index])
+            events.append(outcomes)
+        return events
 
     # ------------------------------------------------------------------
     # uncorrectable errors (PUE)
     # ------------------------------------------------------------------
-    def expected_ue_count(
-        self, op: OperatingPoint, behavior: WorkloadBehavior, workload: str = ""
+    def _expected_ue_count_from_p_ret(
+        self,
+        p_ret: float,
+        op: OperatingPoint,
+        behavior: WorkloadBehavior,
+        workload: str = "",
+        idiosyncratic: Optional[float] = None,
     ) -> float:
-        """Expected number of detected multi-bit words in one 2-hour run."""
+        """Expected UE count given a precomputed retention failure probability.
+
+        Shared per-point arithmetic of the scalar and grid paths.  The
+        idiosyncratic factor is deterministic per workload, so the grid
+        path computes it once and passes it in; ``None`` means compute it
+        here (the scalar path).
+        """
         cal = self.calibration.workload
         ue_cal = self.calibration.ue
-        p_ret = self.retention_bit_failure_probability(op)
         refresh_fraction = self.implicit_refresh_fraction(behavior, op)
         suppression = 1.0 - refresh_fraction * (1.0 - cal.implicit_refresh_residual)
         pattern = self.data_pattern_factor(behavior)
@@ -217,13 +450,44 @@ class StatisticalErrorModel:
             * (op.temperature_c - ue_cal.temperature_reference_c)
         )
         p_word_multi = min(clustering * pairs * p_bit ** 2, 1.0)
+        if idiosyncratic is None:
+            idiosyncratic = self._idiosyncratic_factor(workload, None)
         lam = (
             p_word_multi
             * behavior.footprint_words
             * ue_cal.scrub_coverage
-            * self._idiosyncratic_factor(workload, None)
+            * idiosyncratic
         )
         return float(lam)
+
+    def expected_ue_count(
+        self, op: OperatingPoint, behavior: WorkloadBehavior, workload: str = ""
+    ) -> float:
+        """Expected number of detected multi-bit words in one 2-hour run."""
+        return self._expected_ue_count_from_p_ret(
+            self.retention_bit_failure_probability(op), op, behavior, workload
+        )
+
+    def expected_ue_count_grid(
+        self,
+        ops: Sequence[OperatingPoint],
+        behavior: WorkloadBehavior,
+        workload: str = "",
+        p_ret: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Expected UE counts for many operating points, as a (points,) array."""
+        if p_ret is None:
+            p_ret = self.retention_bit_failure_probability_grid(ops)
+        idiosyncratic = self._idiosyncratic_factor(workload, None)
+        return np.array(
+            [
+                self._expected_ue_count_from_p_ret(
+                    float(p), op, behavior, workload, idiosyncratic=idiosyncratic
+                )
+                for p, op in zip(p_ret, ops)
+            ],
+            dtype=np.float64,
+        )
 
     def probability_of_ue(
         self, op: OperatingPoint, behavior: WorkloadBehavior, workload: str = ""

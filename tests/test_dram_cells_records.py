@@ -244,3 +244,101 @@ class TestErrorLog:
         log.append(self._record(dimm=1, rank=0, row=3))
         counts = log.counts_by_rank(ErrorClass.CORRECTED)
         assert counts[RankLocation(1, 0)] == 2
+
+    def test_append_batch_matches_per_record_appends(self):
+        batched, scalar = ErrorLog(), ErrorLog()
+        classes = [ErrorClass.CORRECTED, ErrorClass.UNCORRECTABLE, ErrorClass.CORRECTED]
+        locations = [CellLocation(0, 0, 0, i, 0) for i in range(3)]
+        batched.append_batch(classes, locations, timestamp_s=5.0, workload="wl")
+        for cls, loc in zip(classes, locations):
+            scalar.append(ErrorRecord(cls, loc, 5.0, "wl"))
+        assert batched.records() == scalar.records()
+        assert list(batched) == list(scalar)
+        assert batched.counts_by_rank(ErrorClass.CORRECTED) == (
+            scalar.counts_by_rank(ErrorClass.CORRECTED)
+        )
+        assert batched.first_uncorrectable() == scalar.first_uncorrectable()
+
+    def test_append_batch_validates_like_error_record(self):
+        log = ErrorLog()
+        location = CellLocation(0, 0, 0, 0, 0)
+        with pytest.raises(ConfigurationError):
+            log.append_batch([ErrorClass.NO_ERROR], [location], timestamp_s=1.0)
+        with pytest.raises(ConfigurationError):
+            log.append_batch([ErrorClass.CORRECTED], [location], timestamp_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            log.append_batch([ErrorClass.CORRECTED], [location, location], 1.0)
+        assert len(log) == 0
+
+    def test_interleaved_appends_and_queries_stay_consistent(self):
+        log = ErrorLog()
+        log.append(self._record(row=0, t=1.0))
+        assert len(log.records()) == 1        # materialises the cache
+        log.append(self._record(row=1, t=2.0))
+        log.append_batch(
+            [ErrorClass.CORRECTED], [CellLocation(0, 0, 0, 2, 0)], timestamp_s=3.0,
+            workload="wl",
+        )
+        assert len(log.records()) == 3
+        assert log.count(ErrorClass.CORRECTED) == 3
+        log.clear()
+        assert len(log) == 0 and log.records() == []
+
+
+class TestSaturatedSweepLogging:
+    """The columnar batch logging path under dense (near-saturated) errors."""
+
+    def _saturated_simulator(self, seed=3, interference_strength=2e-4):
+        # An extremely leaky population: after a long idle at 70 C almost
+        # every word of a dense pattern errors, so error logging — not
+        # decoding — dominates the sweep.
+        config = CellArrayConfig(
+            geometry=small_geometry(), trefp_s=2.283, temperature_c=70.0,
+            interference_strength=interference_strength,
+            calibration=DramCalibration(
+                retention=RetentionCalibration(log_median_retention_50c=2.0,
+                                               log_sigma=1.0)
+            ),
+            seed=seed,
+        )
+        return CellArraySimulator(config)
+
+    def test_dense_error_sweep_logs_every_event(self):
+        sim = self._saturated_simulator()
+        locations = sim.fill([0xFFFFFFFFFFFFFFFF] * 4000)
+        sim.idle(3600.0)
+        sweep = sim.read_batch(locations, workload="saturated")
+        errors = sum(
+            count for cls, count in sweep.counts().items()
+            if cls is not ErrorClass.NO_ERROR
+        )
+        # Saturation: the vast majority of words must have errored.
+        assert errors > 3000
+        assert len(sim.error_log) == errors
+        assert set(sweep.error_locations()) == {
+            record.location for record in sim.error_log
+        }
+        # Per-class tallies of the log match the decode classification.
+        for cls in (ErrorClass.CORRECTED, ErrorClass.UNCORRECTABLE, ErrorClass.SILENT):
+            assert sim.error_log.count(cls) == sweep.counts()[cls]
+        assert all(record.workload == "saturated" for record in sim.error_log)
+
+    def test_dense_sweep_matches_scalar_logging_exactly(self):
+        # Row hammer off: a burst is then exactly a loop of scalar reads, so
+        # the batch-logged events must match the per-word path one to one.
+        batch_sim = self._saturated_simulator(seed=17, interference_strength=0.0)
+        scalar_sim = self._saturated_simulator(seed=17, interference_strength=0.0)
+        values = [0xFFFFFFFFFFFFFFFF] * 800
+        locations = batch_sim.fill(list(values))
+        batch_sim.idle(3600.0)
+        batch_sim.read_batch(locations, workload="wl")
+
+        scalar_sim.fill(list(values))
+        scalar_sim.idle(3600.0)
+        for location in locations:
+            scalar_sim.read(location, workload="wl")
+
+        batch_records = [(r.location, r.error_class) for r in batch_sim.error_log]
+        scalar_records = [(r.location, r.error_class) for r in scalar_sim.error_log]
+        assert batch_records == scalar_records
+        assert len(batch_sim.error_log) > 500    # the sweep really is dense
