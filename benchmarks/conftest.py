@@ -4,9 +4,19 @@ The full characterization campaign (14 benchmarks x 4 refresh periods x
 {50, 60} C plus the 70 C UE study) and the extended campaign used by the
 Fig. 13 case study are run once per session and shared by every
 benchmark.
+
+The throughput benchmarks (SECDED decode, campaign grid, dataset
+assembly) report their floors through one shared :class:`BenchReport`
+fixture so the scalar/batch timings print uniformly, and the measured
+speedups are dumped to a JSON file (``BENCH_5.json`` by default,
+overridable via ``BENCH_REPORT_JSON``) that CI uploads as a per-PR
+artifact.
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 import pytest
 
@@ -27,6 +37,54 @@ def _print_table(title, rows):
 @pytest.fixture(scope="session")
 def print_table():
     return _print_table
+
+
+class BenchReport:
+    """Uniform floor reporting shared by every throughput benchmark.
+
+    Each benchmark records one entry (scalar time, batch time, floor);
+    the report prints the standard scalar/batch/speedup table and, at
+    session end, writes every entry to the benchmark-artifact JSON.
+    """
+
+    def __init__(self):
+        self.entries = {}
+
+    def record(self, benchmark, *, floor, scalar_s, batch_s, units_label="runs",
+               work_items=None):
+        """Record one floor measurement; returns the measured speedup."""
+        speedup = scalar_s / batch_s
+        self.entries[benchmark] = {
+            "benchmark": benchmark,
+            "floor_x": floor,
+            "speedup_x": round(speedup, 2),
+            "scalar_s": round(scalar_s, 6),
+            "batch_s": round(batch_s, 6),
+        }
+        rows = [
+            ("scalar loop", f"{scalar_s:.4f} s",
+             f"{work_items / scalar_s:,.0f} {units_label}/s" if work_items else ""),
+            ("batch engine", f"{batch_s:.4f} s",
+             f"{work_items / batch_s:,.0f} {units_label}/s" if work_items else ""),
+            ("speedup", f"{speedup:.1f}x", f"(floor {floor:.0f}x)"),
+        ]
+        _print_table(f"{benchmark} throughput", rows)
+        return speedup
+
+
+@pytest.fixture(scope="session")
+def bench_report():
+    report = BenchReport()
+    yield report
+    if report.entries:
+        path = os.environ.get("BENCH_REPORT_JSON", "BENCH_5.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"benchmarks": sorted(report.entries.values(),
+                                      key=lambda e: e["benchmark"])},
+                handle, indent=2,
+            )
+            handle.write("\n")
 
 
 @pytest.fixture(scope="session")

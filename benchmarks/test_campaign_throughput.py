@@ -81,7 +81,7 @@ def test_default_grid_batch_matches_scalar_exactly(campaign_profiles):
     assert mismatches == 0
 
 
-def test_campaign_grid_at_least_10x_scalar(campaign_profiles, print_table):
+def test_campaign_grid_at_least_10x_scalar(campaign_profiles, bench_report):
     experiment = CharacterizationExperiment(seed=7)
     _batched_sweep(experiment, campaign_profiles)      # warm caches/imports
 
@@ -99,13 +99,10 @@ def test_campaign_grid_at_least_10x_scalar(campaign_profiles, print_table):
     runs = len(campaign_workload_names()) * (
         len(wer_ops) * CONFIG.repetitions + len(ue_ops) * CONFIG.ue_repetitions
     )
-    speedup = scalar_s / batch_s
-
-    print_table("Campaign sweep throughput (default grid, 14 workloads)", [
-        ("scalar loop", f"{scalar_s:.3f} s", f"{runs / scalar_s:,.0f} runs/s"),
-        ("grid engine", f"{batch_s:.3f} s", f"{runs / batch_s:,.0f} runs/s"),
-        ("speedup", f"{speedup:.1f}x", ""),
-    ])
+    speedup = bench_report.record(
+        "campaign_grid", floor=10.0, scalar_s=scalar_s, batch_s=batch_s,
+        units_label="runs", work_items=runs,
+    )
     assert speedup >= 10.0
 
 

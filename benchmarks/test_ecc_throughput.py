@@ -82,7 +82,7 @@ def test_batch_encode_matches_scalar_exactly(code, corrupted_block):
     assert not decoded.error_codes.any()
 
 
-def test_batch_throughput_at_least_20x_scalar(code, corrupted_block, print_table):
+def test_batch_throughput_at_least_20x_scalar(code, corrupted_block, bench_report):
     words, codewords = corrupted_block
 
     start = time.perf_counter()
@@ -93,13 +93,10 @@ def test_batch_throughput_at_least_20x_scalar(code, corrupted_block, print_table
     batch_s = min(
         _timed(lambda: code.decode_batch(codewords).data_words) for _ in range(3)
     )
-    speedup = scalar_s / batch_s
-
-    print_table("SECDED decode throughput (10k codewords)", [
-        ("scalar loop", f"{scalar_s:.3f} s", f"{NUM_WORDS / scalar_s:,.0f} words/s"),
-        ("batch engine", f"{batch_s:.4f} s", f"{NUM_WORDS / batch_s:,.0f} words/s"),
-        ("speedup", f"{speedup:.0f}x", ""),
-    ])
+    speedup = bench_report.record(
+        "secded_decode", floor=20.0, scalar_s=scalar_s, batch_s=batch_s,
+        units_label="words", work_items=NUM_WORDS,
+    )
     assert speedup >= 20.0
 
 

@@ -9,35 +9,48 @@ of the evaluation needs.
 Grid engine
 -----------
 Both sweeps hand each workload's whole operating-point grid to
-:meth:`CharacterizationExperiment.run_grid` in one call, so the
+:meth:`CharacterizationExperiment.run_grid_columns` in one call, so the
 expected-WER surface, run-to-run noise, maturity scaling and UE sampling
-are evaluated as array operations instead of per-run Python work.  The
-scalar-vs-batch contract: a grid cell is bit-identical to the scalar
-``experiment.run`` call with the same seed and repetition index (the
-scalar path *is* a one-point grid), and ``tests/test_campaign_grid.py``
-pins that equivalence plus campaign-level determinism.
-``benchmarks/test_campaign_throughput.py`` pins the speedup floor of the
-batched sweep over the scalar loop.
+are evaluated as array operations instead of per-run Python work, and
+the sampled surfaces stream straight into columnar
+:class:`~repro.characterization.metrics.WerColumnStore` blocks — no
+``ExperimentResult`` / ``WerMeasurement`` objects are built during a
+sweep.  The scalar-vs-batch contract: a grid cell is bit-identical to
+the scalar ``experiment.run`` call with the same seed and repetition
+index (the scalar path *is* a one-point grid), and
+``tests/test_campaign_grid.py`` pins that equivalence plus
+campaign-level determinism.  ``benchmarks/test_campaign_throughput.py``
+pins the speedup floor of the batched sweep over the scalar loop.
 
-:class:`CampaignResult` keeps the flat ``WerMeasurement`` list as its
-canonical, append-only record of the sweep, but serves the figure-level
-aggregations from a lazily (re)built columnar view
-(:class:`~repro.characterization.metrics.WerColumnStore`): masked vector
-reductions over structured numpy arrays that reproduce the old list-scan
-results exactly.
+Parallel execution
+------------------
+Each workload's sweep is independent, so ``run(parallel=n)`` fans the
+per-workload grid calls across a ``concurrent.futures`` process pool:
+workers receive picklable :class:`WorkloadSweepSpec` grid specs, return
+columnar blocks, and the parent merges blocks in workload order — the
+result is bit-identical to the sequential sweep for any worker count
+(pinned by ``tests/test_campaign_parallel.py``).
+
+:class:`CampaignResult` keeps the columnar store as its canonical record
+after a sweep and materializes the flat ``WerMeasurement`` list lazily;
+hand-built results (tests, tools) may still treat ``wer_measurements``
+as an append-only list, and the columnar view tracks it with the same
+length/identity heuristic as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import units
-from repro.characterization.experiment import CharacterizationExperiment, ExperimentResult
+from repro.characterization.experiment import CharacterizationExperiment, GridColumns
 from repro.characterization.metrics import (
     PueSummary,
+    UeObservation,
     WerColumnStore,
     WerMeasurement,
     rank_ue_distribution,
@@ -92,45 +105,120 @@ class CampaignConfig:
         ]
 
 
-@dataclass
 class CampaignResult:
-    """All measurements of one campaign, with the aggregations the figures use."""
+    """All measurements of one campaign, with the aggregations the figures use.
 
-    config: CampaignConfig
-    wer_measurements: List[WerMeasurement] = field(default_factory=list)
-    pue_summaries: List[PueSummary] = field(default_factory=list)
-    _wer_store: Optional[WerColumnStore] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _wer_store_source: Optional[List[WerMeasurement]] = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    The WER record has two interchangeable representations: the columnar
+    :class:`WerColumnStore` (what a sweep produces, via
+    :meth:`extend_wer_columns`) and the flat ``wer_measurements`` list.
+    Whichever was touched last is canonical — a store-backed result
+    materializes the record list only when ``wer_measurements`` is first
+    read, and a hand-mutated list is re-packed into columns on the next
+    aggregation.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        wer_measurements: Optional[List[WerMeasurement]] = None,
+        pue_summaries: Optional[List[PueSummary]] = None,
+    ) -> None:
+        self.config = config
+        self.pue_summaries: List[PueSummary] = (
+            pue_summaries if pue_summaries is not None else []
+        )
+        self._wer_list: Optional[List[WerMeasurement]] = (
+            wer_measurements if wer_measurements is not None else []
+        )
+        # True once a caller holds the list object (passed in, read via the
+        # property, or assigned): block ingestion must then extend that
+        # list in place rather than detach it for the columnar fast path.
+        self._wer_list_shared = wer_measurements is not None
+        self._wer_store: Optional[WerColumnStore] = None
+        self._wer_store_source: Optional[List[WerMeasurement]] = None
+
+    # -- the flat record list --------------------------------------------------
+    @property
+    def wer_measurements(self) -> List[WerMeasurement]:
+        """The flat measurement record, materialized from columns on demand."""
+        if self._wer_list is None:
+            self._wer_list = (
+                self._wer_store.to_measurements() if self._wer_store is not None else []
+            )
+            # The store already matches the list it just produced.
+            self._wer_store_source = self._wer_list
+        self._wer_list_shared = True
+        return self._wer_list
+
+    @wer_measurements.setter
+    def wer_measurements(self, measurements: List[WerMeasurement]) -> None:
+        self._wer_list = measurements
+        self._wer_list_shared = True
+
+    @property
+    def num_wer_measurements(self) -> int:
+        """Number of WER records, without materializing the record list."""
+        if self._wer_list is not None:
+            return len(self._wer_list)
+        return len(self._wer_store) if self._wer_store is not None else 0
 
     # -- columnar backing store ------------------------------------------------
     def wer_columns(self) -> WerColumnStore:
-        """Columnar view of ``wer_measurements`` backing the aggregations.
+        """Columnar view of the WER measurements backing the aggregations.
 
-        The view is built lazily and rebuilt whenever the (append-only)
-        measurement list has grown or been replaced wholesale since the
-        last build, so callers may freely interleave appends and
-        aggregation queries.  Any mutation that preserves both the list
-        object and its length (replacing a record in place, pop followed
-        by append, reordering) is invisible to this heuristic — call
+        When the record list is canonical (hand-built results), the view
+        is built lazily and rebuilt whenever the (append-only) list has
+        grown or been replaced wholesale since the last build, so callers
+        may freely interleave appends and aggregation queries.  Any
+        mutation that preserves both the list object and its length
+        (replacing a record in place, pop followed by append, reordering)
+        is invisible to this heuristic — call
         :meth:`invalidate_wer_columns` after such edits.
         """
+        if self._wer_list is None:
+            if self._wer_store is None:
+                self._wer_store = WerColumnStore([])
+            return self._wer_store
         if (
             self._wer_store is None
-            or self._wer_store_source is not self.wer_measurements
-            or len(self._wer_store) != len(self.wer_measurements)
+            or self._wer_store_source is not self._wer_list
+            or len(self._wer_store) != len(self._wer_list)
         ):
-            self._wer_store = WerColumnStore(self.wer_measurements)
-            self._wer_store_source = self.wer_measurements
+            self._wer_store = WerColumnStore(self._wer_list)
+            self._wer_store_source = self._wer_list
         return self._wer_store
+
+    def extend_wer_columns(self, blocks: Sequence[WerColumnStore]) -> None:
+        """Merge columnar measurement blocks into the WER record.
+
+        The fast path concatenates the blocks onto the canonical store
+        without materializing a single ``WerMeasurement``; when a record
+        list a caller may hold already exists (hand-built or previously
+        read results), the blocks are materialized and extended onto
+        that same list instead, so held references keep seeing the data.
+        """
+        blocks = [block for block in blocks if len(block)]
+        if not blocks:
+            return
+        if self._wer_list is not None and (self._wer_list or self._wer_list_shared):
+            for block in blocks:
+                self._wer_list.extend(block.to_measurements())
+            return
+        existing = (
+            [self._wer_store]
+            if self._wer_store is not None and len(self._wer_store)
+            else []
+        )
+        self._wer_store = WerColumnStore.concat(existing + blocks)
+        self._wer_list = None
+        self._wer_list_shared = False
+        self._wer_store_source = None
 
     def invalidate_wer_columns(self) -> None:
         """Force a rebuild of the columnar view on the next aggregation."""
-        self._wer_store = None
-        self._wer_store_source = None
+        if self._wer_list is not None:
+            self._wer_store = None
+            self._wer_store_source = None
 
     # -- WER aggregations ------------------------------------------------------
     def wer_by_workload(self, trefp_s: float, temperature_c: float) -> Dict[str, float]:
@@ -213,6 +301,85 @@ def _close(a: float, b: float, tolerance: float = 1e-9) -> bool:
     return abs(a - b) <= tolerance
 
 
+def _grid_pue_summaries(grid: GridColumns) -> List[PueSummary]:
+    """Reduce a UE-study grid to one :class:`PueSummary` per operating point."""
+    summaries = []
+    for op, events in zip(grid.ops, grid.ue_ranks):
+        summary = PueSummary(
+            workload=grid.workload, trefp_s=op.trefp_s,
+            temperature_c=op.temperature_c,
+        )
+        for ue_rank in events:
+            summary.add(UeObservation(
+                workload=grid.workload, trefp_s=op.trefp_s,
+                temperature_c=op.temperature_c,
+                crashed=ue_rank is not None, rank=ue_rank,
+            ))
+        summaries.append(summary)
+    return summaries
+
+
+@dataclass(frozen=True, eq=False)
+class WorkloadSweepSpec:
+    """Picklable description of one workload's share of a campaign.
+
+    This is the unit the process pool distributes: everything a worker
+    needs to reproduce the sequential sweep for one workload — the
+    server model (cheap to pickle), the experiment seed and the two
+    operating-point grids.
+    """
+
+    workload: str
+    seed: int
+    server: XGene2Server
+    wer_ops: Tuple[OperatingPoint, ...]
+    wer_repetitions: int
+    ue_ops: Tuple[OperatingPoint, ...]
+    ue_repetitions: int
+
+
+@dataclass
+class WorkloadSweepOutcome:
+    """Columnar blocks one worker sends back: CE rows, UE rows, summaries."""
+
+    workload: str
+    wer_block: Optional[WerColumnStore]
+    ue_block: Optional[WerColumnStore]
+    pue_summaries: List[PueSummary]
+
+
+def _run_workload_sweep(spec: WorkloadSweepSpec) -> WorkloadSweepOutcome:
+    """Process-pool worker: one workload's full sweep, returned columnar.
+
+    Module-level so it pickles; builds a fresh experiment around the
+    spec's server copy.  Workload sweeps consume independent keyed RNG
+    streams, so a fresh experiment reproduces the sequential results
+    bit for bit.
+    """
+    experiment = CharacterizationExperiment(server=spec.server, seed=spec.seed)
+    profile = profile_workload(spec.workload)
+    wer_block: Optional[WerColumnStore] = None
+    ue_block: Optional[WerColumnStore] = None
+    summaries: List[PueSummary] = []
+    if spec.wer_ops:
+        wer_block = experiment.run_grid_columns(
+            spec.workload, spec.wer_ops,
+            repetitions=spec.wer_repetitions, profile=profile,
+        ).wer_block()
+    if spec.ue_ops:
+        grid = experiment.run_grid_columns(
+            spec.workload, spec.ue_ops,
+            repetitions=spec.ue_repetitions, profile=profile,
+        )
+        # WER data from the first 70 C repetition also feeds the dataset.
+        ue_block = grid.wer_block(first_repetition_only=True)
+        summaries = _grid_pue_summaries(grid)
+    return WorkloadSweepOutcome(
+        workload=spec.workload, wer_block=wer_block,
+        ue_block=ue_block, pue_summaries=summaries,
+    )
+
+
 class CharacterizationCampaign:
     """Drives the full sweep of Section V on a server model."""
 
@@ -231,50 +398,99 @@ class CharacterizationCampaign:
         """The CE study: workloads x TREFP x {50, 60} C (Fig. 7 / Fig. 8).
 
         Each workload's whole (temperature x TREFP) grid goes through the
-        batched ``run_grid`` engine in one call; measurements land in the
-        same order the scalar nested loop produced them.
+        batched ``run_grid_columns`` engine in one call and lands as one
+        columnar block; rows sit in the same order the scalar nested loop
+        produced them.
         """
         ops = self.config.wer_operating_points()
         if not ops:
             return
+        blocks = []
         for workload in self.config.resolved_workloads():
             profile = profile_workload(workload)
-            grid = self.experiment.run_grid(
+            grid = self.experiment.run_grid_columns(
                 workload, ops, repetitions=self.config.repetitions, profile=profile
             )
-            for point_runs in grid:
-                for run in point_runs:
-                    result.wer_measurements.extend(run.wer_measurements())
+            blocks.append(grid.wer_block())
+        result.extend_wer_columns(blocks)
 
     def run_ue_sweep(self, result: CampaignResult) -> None:
         """The UE study: workloads x TREFP x 70 C, repeated 10 times (Fig. 9)."""
         ops = self.config.ue_operating_points()
         if not ops:
             return
+        blocks = []
         for workload in self.config.resolved_workloads():
             profile = profile_workload(workload)
-            grid = self.experiment.run_grid(
+            grid = self.experiment.run_grid_columns(
                 workload, ops, repetitions=self.config.ue_repetitions, profile=profile
             )
-            for trefp, point_runs in zip(self.config.ue_trefp_values_s, grid):
-                summary = PueSummary(
-                    workload=workload, trefp_s=trefp,
-                    temperature_c=self.config.ue_temperature_c,
-                )
-                for repetition, run in enumerate(point_runs):
-                    summary.add(run.ue_observation())
-                    # WER data from the 70 C runs also feeds the dataset.
-                    if repetition == 0:
-                        result.wer_measurements.extend(run.wer_measurements())
-                result.pue_summaries.append(summary)
+            # WER data from the first 70 C repetition also feeds the dataset.
+            blocks.append(grid.wer_block(first_repetition_only=True))
+            result.pue_summaries.extend(_grid_pue_summaries(grid))
+        result.extend_wer_columns(blocks)
 
-    def run(self, include_ue_study: bool = True) -> CampaignResult:
-        """Run the full campaign and return the collected measurements."""
-        result = CampaignResult(config=self.config)
-        self.run_wer_sweep(result)
+    # ------------------------------------------------------------------
+    def _workload_specs(self, include_ue_study: bool) -> List[WorkloadSweepSpec]:
+        wer_ops = tuple(self.config.wer_operating_points())
+        ue_ops = tuple(self.config.ue_operating_points()) if include_ue_study else ()
+        return [
+            WorkloadSweepSpec(
+                workload=workload, seed=self.experiment.seed, server=self.server,
+                wer_ops=wer_ops, wer_repetitions=self.config.repetitions,
+                ue_ops=ue_ops, ue_repetitions=self.config.ue_repetitions,
+            )
+            for workload in self.config.resolved_workloads()
+        ]
+
+    def _run_parallel(
+        self, result: CampaignResult, include_ue_study: bool, max_workers: int
+    ) -> None:
+        """Fan per-workload sweeps across a process pool, merge in order.
+
+        Outcomes are merged in workload submission order — first every
+        workload's CE block, then every workload's UE block and
+        summaries — so the record is bit-identical to the sequential
+        sweep regardless of worker count or completion order.
+        """
+        if isinstance(max_workers, bool) or not isinstance(max_workers, int):
+            raise CharacterizationError("parallel must be an integer worker count")
+        if max_workers < 1:
+            raise CharacterizationError("parallel must be at least 1 worker")
+        specs = self._workload_specs(include_ue_study)
+        if not specs:
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(max_workers, len(specs))
+        ) as pool:
+            outcomes = list(pool.map(_run_workload_sweep, specs))
+        result.extend_wer_columns(
+            [o.wer_block for o in outcomes if o.wer_block is not None]
+        )
         if include_ue_study:
-            self.run_ue_sweep(result)
-        if not result.wer_measurements:
+            result.extend_wer_columns(
+                [o.ue_block for o in outcomes if o.ue_block is not None]
+            )
+            for outcome in outcomes:
+                result.pue_summaries.extend(outcome.pue_summaries)
+
+    def run(
+        self, include_ue_study: bool = True, parallel: Optional[int] = None
+    ) -> CampaignResult:
+        """Run the full campaign and return the collected measurements.
+
+        ``parallel=None`` sweeps in-process; ``parallel=n`` distributes
+        the per-workload sweeps over an ``n``-worker process pool.  Both
+        paths produce bit-identical results.
+        """
+        result = CampaignResult(config=self.config)
+        if parallel is None:
+            self.run_wer_sweep(result)
+            if include_ue_study:
+                self.run_ue_sweep(result)
+        else:
+            self._run_parallel(result, include_ue_study, parallel)
+        if result.num_wer_measurements == 0:
             raise CharacterizationError("campaign produced no measurements")
         return result
 
@@ -283,8 +499,9 @@ def run_default_campaign(
     workloads: Optional[Sequence[str]] = None,
     include_ue_study: bool = True,
     seed: int = 7,
+    parallel: Optional[int] = None,
 ) -> CampaignResult:
     """Convenience helper: run the paper's campaign with default settings."""
     config = CampaignConfig(workloads=tuple(workloads) if workloads else ())
     campaign = CharacterizationCampaign(config=config, seed=seed)
-    return campaign.run(include_ue_study=include_ue_study)
+    return campaign.run(include_ue_study=include_ue_study, parallel=parallel)

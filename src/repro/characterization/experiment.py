@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro import units
-from repro.characterization.metrics import UeObservation, WerMeasurement
+from repro.characterization.metrics import UeObservation, WerColumnStore, WerMeasurement
 from repro.dram.calibration import DramCalibration, RetentionCalibration
 from repro.dram.cells import CellArrayConfig, CellArraySimulator
 from repro.dram.ecc import ErrorClass, bits_to_words
@@ -91,6 +91,35 @@ class ExperimentResult:
         )
 
 
+@dataclass
+class GridColumns:
+    """Columnar result of one workload x operating-point grid sweep.
+
+    This is the zero-object sibling of the ``run_grid`` result: the
+    sampled WER surface stays a ``(points, repetitions, ranks)`` array
+    (rank axis in label order, the order the scalar sweep emitted its
+    per-run measurements) and UE outcomes stay the per-cell rank grid.
+    :meth:`wer_block` packs the surface into a
+    :class:`~repro.characterization.metrics.WerColumnStore` block that a
+    campaign merges without materializing ``WerMeasurement`` lists.
+    """
+
+    workload: str
+    ops: List[OperatingPoint]
+    ranks: List[RankLocation]
+    wer: np.ndarray
+    ue_ranks: List[List[Optional[RankLocation]]]
+
+    def wer_block(self, first_repetition_only: bool = False) -> "WerColumnStore":
+        """Columnar measurement block (optionally repetition 0 only).
+
+        The UE study keeps only the first repetition's WER rows — the
+        same slice the scalar sweep recorded.
+        """
+        wer = self.wer[:, :1, :] if first_repetition_only else self.wer
+        return WerColumnStore.from_grid(self.workload, self.ops, wer, self.ranks)
+
+
 @dataclass(frozen=True)
 class MechanismCheckResult:
     """Mechanism-level cross-check of one operating point.
@@ -135,24 +164,20 @@ class CharacterizationExperiment:
         return np.random.Generator(np.random.PCG64(key))
 
     # ------------------------------------------------------------------
-    def run_grid(
+    def _grid_arrays(
         self,
         workload: str,
         ops: Sequence[OperatingPoint],
-        repetitions: Union[int, Sequence[int]] = 1,
-        duration_s: float = units.CHARACTERIZATION_DURATION_S,
-        profile: Optional[WorkloadProfile] = None,
-        collect_time_series: bool = False,
-    ) -> List[List[ExperimentResult]]:
-        """Run one workload over a batch of operating points x repetitions.
+        repetitions: Union[int, Sequence[int]],
+        duration_s: float,
+        profile: Optional[WorkloadProfile],
+    ):
+        """Shared grid core: sampled WER surface + UE grid as arrays.
 
-        Returns results indexed ``[point][repetition]``.  ``repetitions``
-        is either a count (runs repetition indices ``0..n-1``) or an
-        explicit sequence of repetition indices (how the scalar ``run``
-        wrapper requests a single arbitrary index).  Every cell draws
-        from the same ``crc32``-keyed RNG stream the scalar path would
-        use, so cell ``[p][k]`` is bit-identical to
-        ``run(workload, ops[p], repetition=indices[k])``.
+        Returns ``(configured_ops, behavior, wer_grid, ue_grid)`` where
+        ``wer_grid`` is ``(points, repetitions, ranks)`` with maturity
+        already applied (shape ``(points, 0, ranks)`` when no repetitions
+        were requested) and ``ue_grid`` is the per-cell rank grid.
         """
         if duration_s <= 0:
             raise CharacterizationError("duration_s must be positive")
@@ -168,7 +193,8 @@ class CharacterizationExperiment:
         configured = [self.server.configure(op) for op in ops]
         model = self.server.error_model
         if not repetition_indices:
-            return [[] for _ in configured]
+            empty = np.zeros((len(configured), 0, self.server.geometry.num_ranks))
+            return configured, behavior, empty, [[] for _ in configured]
 
         rngs = [
             [self._run_rng(workload, op, repetition) for repetition in repetition_indices]
@@ -189,6 +215,33 @@ class CharacterizationExperiment:
         ue_grid = model.sample_ue_events_grid(
             configured, behavior, workload=workload, rngs=rngs, p_ret=p_ret
         )
+        return configured, behavior, wer_grid, ue_grid
+
+    def run_grid(
+        self,
+        workload: str,
+        ops: Sequence[OperatingPoint],
+        repetitions: Union[int, Sequence[int]] = 1,
+        duration_s: float = units.CHARACTERIZATION_DURATION_S,
+        profile: Optional[WorkloadProfile] = None,
+        collect_time_series: bool = False,
+    ) -> List[List[ExperimentResult]]:
+        """Run one workload over a batch of operating points x repetitions.
+
+        Returns results indexed ``[point][repetition]``.  ``repetitions``
+        is either a count (runs repetition indices ``0..n-1``) or an
+        explicit sequence of repetition indices (how the scalar ``run``
+        wrapper requests a single arbitrary index).  Every cell draws
+        from the same ``crc32``-keyed RNG stream the scalar path would
+        use, so cell ``[p][k]`` is bit-identical to
+        ``run(workload, ops[p], repetition=indices[k])``.
+        """
+        configured, behavior, wer_grid, ue_grid = self._grid_arrays(
+            workload, ops, repetitions, duration_s, profile
+        )
+        model = self.server.error_model
+        if wer_grid.shape[1] == 0:
+            return [[] for _ in configured]
 
         ranks = list(self.server.geometry.iter_ranks())
         results: List[List[ExperimentResult]] = []
@@ -203,7 +256,7 @@ class CharacterizationExperiment:
             # one C pass — the per-element float() indexing used to cost as
             # much as the draws themselves.
             point_wers = wer_grid[p].tolist()
-            for k in range(len(repetition_indices)):
+            for k in range(wer_grid.shape[1]):
                 point_results.append(
                     ExperimentResult(
                         workload=workload,
@@ -216,6 +269,36 @@ class CharacterizationExperiment:
                 )
             results.append(point_results)
         return results
+
+    def run_grid_columns(
+        self,
+        workload: str,
+        ops: Sequence[OperatingPoint],
+        repetitions: Union[int, Sequence[int]] = 1,
+        duration_s: float = units.CHARACTERIZATION_DURATION_S,
+        profile: Optional[WorkloadProfile] = None,
+    ) -> GridColumns:
+        """Run a grid and keep the results columnar (no per-run objects).
+
+        Samples exactly the same RNG streams as :meth:`run_grid` — cell
+        values are bit-identical — but returns the WER surface and UE
+        grid as arrays, ready to stream into a campaign's
+        ``WerColumnStore`` / the dataset builders.  The rank axis is
+        reordered to label order, matching the order the scalar sweep's
+        ``wer_measurements()`` emitted rows.
+        """
+        configured, _behavior, wer_grid, ue_grid = self._grid_arrays(
+            workload, ops, repetitions, duration_s, profile
+        )
+        ranks = list(self.server.geometry.iter_ranks())
+        order = sorted(range(len(ranks)), key=lambda i: ranks[i].label)
+        return GridColumns(
+            workload=workload,
+            ops=list(configured),
+            ranks=[ranks[i] for i in order],
+            wer=np.ascontiguousarray(wer_grid[:, :, order]),
+            ue_ranks=ue_grid,
+        )
 
     def run(
         self,

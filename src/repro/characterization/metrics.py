@@ -131,11 +131,18 @@ class WerColumnStore:
     values in record order, so they match the old list-scan
     implementations bit for bit, and group keys are emitted in first-
     appearance order — the order the list scans produced.
+
+    Besides wrapping an existing record list, a store can be built
+    straight from the grid engine's sample arrays (:meth:`from_grid`) and
+    merged block-wise (:meth:`concat`), so a campaign sweep never has to
+    materialize per-record objects; :meth:`to_measurements` reconstructs
+    the exact record list on demand.
     """
 
     DTYPE = np.dtype([
         ("workload", np.int32),
         ("trefp_s", np.float64),
+        ("vdd_v", np.float64),
         ("temperature_c", np.float64),
         ("rank", np.int32),
         ("wer", np.float64),
@@ -156,8 +163,105 @@ class WerColumnStore:
             if rcode is None:
                 rcode = rank_codes[m.rank] = len(self._ranks)
                 self._ranks.append(m.rank)
-            rows[i] = (wcode, m.trefp_s, m.temperature_c, rcode, m.wer)
+            rows[i] = (wcode, m.trefp_s, m.vdd_v, m.temperature_c, rcode, m.wer)
         self.rows = rows
+
+    @classmethod
+    def _from_parts(
+        cls,
+        workloads: Sequence[str],
+        ranks: Sequence[RankLocation],
+        rows: np.ndarray,
+    ) -> "WerColumnStore":
+        store = cls.__new__(cls)
+        store._workloads = list(workloads)
+        store._ranks = list(ranks)
+        store.rows = rows
+        return store
+
+    @classmethod
+    def from_grid(
+        cls,
+        workload: str,
+        ops: Sequence,
+        wer: np.ndarray,
+        ranks: Sequence[RankLocation],
+    ) -> "WerColumnStore":
+        """Pack one workload's ``(points, repetitions, ranks)`` WER grid.
+
+        Rows come out point-major, then repetition, then rank — the order
+        the scalar sweep appended its per-run measurements — without
+        constructing a single :class:`WerMeasurement`.  ``wer``'s rank
+        axis must already follow ``ranks``.
+        """
+        if wer.ndim != 3 or wer.shape[2] != len(ranks) or wer.shape[0] != len(ops):
+            raise DataError(
+                f"wer grid of shape {wer.shape} does not match "
+                f"{len(ops)} operating points x {len(ranks)} ranks"
+            )
+        points, repetitions, num_ranks = wer.shape
+        per_point = repetitions * num_ranks
+        rows = np.empty(points * per_point, dtype=cls.DTYPE)
+        rows["workload"] = 0
+        rows["trefp_s"] = np.repeat([op.trefp_s for op in ops], per_point)
+        rows["vdd_v"] = np.repeat([op.vdd_v for op in ops], per_point)
+        rows["temperature_c"] = np.repeat(
+            [op.temperature_c for op in ops], per_point
+        )
+        rows["rank"] = np.tile(np.arange(num_ranks, dtype=np.int32),
+                               points * repetitions)
+        rows["wer"] = wer.reshape(-1)
+        return cls._from_parts([workload], ranks, rows)
+
+    @classmethod
+    def concat(cls, stores: Sequence["WerColumnStore"]) -> "WerColumnStore":
+        """Merge stores block-wise, remapping codes to first-appearance order."""
+        stores = list(stores)
+        if not stores:
+            return cls([])
+        workloads: List[str] = []
+        ranks: List[RankLocation] = []
+        workload_codes: Dict[str, int] = {}
+        rank_codes: Dict[RankLocation, int] = {}
+        pieces = []
+        for store in stores:
+            wmap = np.empty(max(len(store._workloads), 1), dtype=np.int32)
+            for i, workload in enumerate(store._workloads):
+                code = workload_codes.get(workload)
+                if code is None:
+                    code = workload_codes[workload] = len(workloads)
+                    workloads.append(workload)
+                wmap[i] = code
+            rmap = np.empty(max(len(store._ranks), 1), dtype=np.int32)
+            for i, rank in enumerate(store._ranks):
+                code = rank_codes.get(rank)
+                if code is None:
+                    code = rank_codes[rank] = len(ranks)
+                    ranks.append(rank)
+                rmap[i] = code
+            rows = store.rows.copy()
+            if len(rows):
+                rows["workload"] = wmap[store.rows["workload"]]
+                rows["rank"] = rmap[store.rows["rank"]]
+            pieces.append(rows)
+        return cls._from_parts(workloads, ranks, np.concatenate(pieces))
+
+    def to_measurements(self) -> List[WerMeasurement]:
+        """Materialize the exact :class:`WerMeasurement` record list."""
+        workloads = self._workloads
+        ranks = self._ranks
+        rows = self.rows
+        return [
+            WerMeasurement(
+                workload=workloads[wcode], trefp_s=trefp, vdd_v=vdd,
+                temperature_c=temperature, rank=ranks[rcode], wer=wer,
+            )
+            for wcode, trefp, vdd, temperature, rcode, wer in zip(
+                rows["workload"].tolist(), rows["trefp_s"].tolist(),
+                rows["vdd_v"].tolist(), rows["temperature_c"].tolist(),
+                rows["rank"].tolist(), rows["wer"].tolist(),
+            )
+        ]
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -7,6 +7,7 @@ from repro.core.correlation import (
     run_correlation_study,
 )
 from repro.core.dataset import (
+    ColumnarDataset,
     ErrorDataset,
     Sample,
     build_pue_dataset,
@@ -41,6 +42,7 @@ __all__ = [
     "CorrelationStudy",
     "FeatureCorrelationPoint",
     "run_correlation_study",
+    "ColumnarDataset",
     "ErrorDataset",
     "Sample",
     "build_pue_dataset",

@@ -4,16 +4,28 @@ This is the "Build data set" step of Fig. 3: every characterization
 measurement is joined with the program features of the workload that
 produced it.  Two dataset flavours exist:
 
-* :class:`WerDataset` — one sample per (workload, operating point, rank),
-  target = the per-rank WER;
-* :class:`PueDataset` — one sample per (workload, refresh period) of the
-  70 C study, target = the measured PUE.
+* :func:`build_wer_dataset` — one row per (workload, operating point,
+  rank), target = the per-rank WER;
+* :func:`build_pue_dataset` — one row per (workload, refresh period) of
+  the 70 C study, target = the measured PUE.
+
+Both builders are columnar: the campaign's
+:class:`~repro.characterization.metrics.WerColumnStore` columns stream
+straight into a :class:`ColumnarDataset` (operating-point matrix, target
+vector and dictionary-encoded group/rank codes) and the program-feature
+join is one fancy-indexing pass over a per-workload feature table — no
+per-row :class:`Sample` objects are built unless a caller iterates the
+dataset.  The original per-sample implementation survives in
+``repro.core.reference`` as the independent equivalence reference; the
+columnar path must produce bit-identical ``(X, y, groups)`` matrices
+(pinned by ``tests/test_columnar_dataset.py`` and
+``benchmarks/test_dataset_throughput.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,30 +52,208 @@ class Sample:
         return feature_set.build_row(self.operating_point, self.program_features)
 
 
-@dataclass
-class ErrorDataset:
-    """A set of labelled samples with matrix/group accessors."""
+class ColumnarDataset:
+    """Columnar training data: feature columns, target vector, group codes.
 
-    samples: List[Sample] = field(default_factory=list)
+    Rows live in parallel numpy columns — workloads and ranks are
+    dictionary-encoded against small code tables, the operating point is
+    a ``(n, 3)`` float matrix and the target a float vector.
+    :meth:`matrices` assembles ``(X, y, groups)`` with one vectorized
+    profile-feature join instead of one Python row per sample.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence[str],
+        workload_codes: np.ndarray,
+        operating_columns: np.ndarray,
+        targets: np.ndarray,
+        features_by_workload: Mapping[str, Mapping[str, float]],
+        ranks: Sequence[RankLocation] = (),
+        rank_codes: Optional[np.ndarray] = None,
+    ) -> None:
+        self.workloads = list(workloads)
+        self.workload_codes = np.asarray(workload_codes, dtype=np.int64)
+        self.operating_columns = np.asarray(operating_columns, dtype=np.float64)
+        self.targets = np.asarray(targets, dtype=np.float64)
+        self.features_by_workload = dict(features_by_workload)
+        self.ranks = list(ranks)
+        self.rank_codes = (
+            np.asarray(rank_codes, dtype=np.int64)
+            if rank_codes is not None
+            else np.full(len(self.targets), -1, dtype=np.int64)
+        )
+        n = len(self.targets)
+        if (
+            len(self.workload_codes) != n
+            or len(self.rank_codes) != n
+            or self.operating_columns.shape != (n, 3)
+        ):
+            raise DataError("columnar dataset columns must have one entry per row")
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return len(self.targets)
+
+    # ------------------------------------------------------------------
+    def matrices(self, feature_set: FeatureSet) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(X, y, groups)`` via one fancy-indexed profile join."""
+        if not len(self):
+            raise DataError("dataset is empty")
+        program = feature_set.program_matrix(self.workloads, self.features_by_workload)
+        X = np.concatenate(
+            [self.operating_columns, program[self.workload_codes]], axis=1
+        )
+        y = self.targets.copy()
+        groups = np.asarray(self.workloads)[self.workload_codes]
+        return X, y, groups
+
+    def subset(self, mask: np.ndarray) -> "ColumnarDataset":
+        """Row subset sharing the code tables (no per-row objects)."""
+        return ColumnarDataset(
+            workloads=self.workloads,
+            workload_codes=self.workload_codes[mask],
+            operating_columns=self.operating_columns[mask],
+            targets=self.targets[mask],
+            features_by_workload=self.features_by_workload,
+            ranks=self.ranks,
+            rank_codes=self.rank_codes[mask],
+        )
+
+    # ------------------------------------------------------------------
+    def workloads_present(self) -> List[str]:
+        return sorted(
+            self.workloads[code] for code in np.unique(self.workload_codes).tolist()
+        )
+
+    def ranks_present(self) -> List[RankLocation]:
+        codes = np.unique(self.rank_codes)
+        return sorted(self.ranks[code] for code in codes[codes >= 0].tolist())
+
+    def targets_by_workload(self) -> Dict[str, List[float]]:
+        """Targets grouped by workload, keys in first-appearance order."""
+        codes = self.workload_codes
+        _, first = np.unique(codes, return_index=True)
+        return {
+            self.workloads[code]: self.targets[codes == code].tolist()
+            for code in codes[np.sort(first)].tolist()
+        }
+
+    def materialize_samples(self) -> List[Sample]:
+        """Build the per-row :class:`Sample` view (only when iterated)."""
+        names = self.workloads
+        ranks = self.ranks
+        features = self.features_by_workload
+        return [
+            Sample(
+                workload=names[wcode],
+                operating_point=OperatingPoint(
+                    trefp_s=trefp, vdd_v=vdd, temperature_c=temperature
+                ),
+                target=target,
+                program_features=features[names[wcode]],
+                rank=ranks[rcode] if rcode >= 0 else None,
+            )
+            for wcode, (trefp, vdd, temperature), target, rcode in zip(
+                self.workload_codes.tolist(), self.operating_columns.tolist(),
+                self.targets.tolist(), self.rank_codes.tolist(),
+            )
+        ]
+
+
+class ErrorDataset:
+    """A set of labelled samples with matrix/group accessors.
+
+    Two interchangeable backings: a plain :class:`Sample` list (hand-built
+    datasets, and the reference path for the equivalence pins) or a
+    :class:`ColumnarDataset` (what the campaign builders produce —
+    matrices, rank filters and group reductions run as vector operations
+    and ``Sample`` objects are materialized lazily only if a caller
+    iterates).  Mutating via :meth:`add` drops the columnar backing;
+    appending directly to a materialized ``samples`` list is detected by
+    the same length heuristic ``CampaignResult`` uses.
+    """
+
+    def __init__(
+        self,
+        samples: Optional[List[Sample]] = None,
+        columns: Optional[ColumnarDataset] = None,
+    ) -> None:
+        if samples is not None and columns is not None:
+            raise DataError("pass either samples or columns, not both")
+        self._columns = columns
+        self._samples: Optional[List[Sample]] = (
+            samples if samples is not None else (None if columns is not None else [])
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> List[Sample]:
+        if self._samples is None:
+            self._samples = self._columns.materialize_samples()
+        return self._samples
+
+    def _active_columns(self) -> Optional[ColumnarDataset]:
+        """The columnar backing, unless sample-list mutation outdated it."""
+        if self._columns is None:
+            return None
+        if self._samples is not None and len(self._samples) != len(self._columns):
+            return None
+        return self._columns
+
+    def columns(self) -> Optional[ColumnarDataset]:
+        """Columnar backing for callers that want raw columns (may be None)."""
+        return self._active_columns()
+
+    def __len__(self) -> int:
+        if self._samples is not None:
+            return len(self._samples)
+        return len(self._columns)
 
     def __iter__(self):
         return iter(self.samples)
 
     def add(self, sample: Sample) -> None:
         self.samples.append(sample)
+        self._columns = None
 
     # ------------------------------------------------------------------
     def workloads(self) -> List[str]:
+        columns = self._active_columns()
+        if columns is not None:
+            return columns.workloads_present()
         return sorted({sample.workload for sample in self.samples})
 
     def ranks(self) -> List[RankLocation]:
-        return sorted({s.rank for s in self.samples if s.rank is not None})
+        """Distinct rank locations, sorted.
+
+        Raises :class:`DataError` when no sample carries a rank — a
+        PUE-only (or empty) dataset has no per-rank structure, and
+        silently returning ``[]`` used to make per-rank training loops
+        vanish without a trace.
+        """
+        columns = self._active_columns()
+        if columns is not None:
+            found = columns.ranks_present()
+        else:
+            found = sorted({s.rank for s in self.samples if s.rank is not None})
+        if not found:
+            raise DataError(
+                "dataset contains no rank-annotated samples "
+                "(PUE datasets are rank-less)"
+            )
+        return found
 
     def filter_rank(self, rank: RankLocation) -> "ErrorDataset":
         """Samples belonging to one DIMM/rank (per-module models)."""
+        columns = self._active_columns()
+        if columns is not None:
+            if rank in columns.ranks:
+                mask = columns.rank_codes == columns.ranks.index(rank)
+            else:
+                mask = np.zeros(len(columns), dtype=bool)
+            if not mask.any():
+                raise DataError(f"no samples for rank {rank.label}")
+            return ErrorDataset(columns=columns.subset(mask))
         subset = [s for s in self.samples if s.rank == rank]
         if not subset:
             raise DataError(f"no samples for rank {rank.label}")
@@ -71,6 +261,9 @@ class ErrorDataset:
 
     def matrices(self, feature_set: FeatureSet) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return (X, y, groups) where groups are workload names."""
+        columns = self._active_columns()
+        if columns is not None:
+            return columns.matrices(feature_set)
         if not self.samples:
             raise DataError("dataset is empty")
         X = np.stack([sample.input_row(feature_set) for sample in self.samples])
@@ -79,6 +272,9 @@ class ErrorDataset:
         return X, y, groups
 
     def targets_by_workload(self) -> Dict[str, List[float]]:
+        columns = self._active_columns()
+        if columns is not None:
+            return columns.targets_by_workload()
         result: Dict[str, List[float]] = {}
         for sample in self.samples:
             result.setdefault(sample.workload, []).append(sample.target)
@@ -100,29 +296,30 @@ def build_wer_dataset(
     campaign: CampaignResult,
     profiles: Optional[Dict[str, WorkloadProfile]] = None,
 ) -> ErrorDataset:
-    """Join per-rank WER measurements with program features."""
-    workloads = sorted({m.workload for m in campaign.wer_measurements})
-    resolved = _profiles_for(workloads, profiles)
-    dataset = ErrorDataset()
-    for measurement in campaign.wer_measurements:
-        profile = resolved[measurement.workload]
-        op = OperatingPoint(
-            trefp_s=measurement.trefp_s,
-            vdd_v=measurement.vdd_v,
-            temperature_c=measurement.temperature_c,
-        )
-        dataset.add(
-            Sample(
-                workload=measurement.workload,
-                operating_point=op,
-                target=measurement.wer,
-                program_features=profile.features,
-                rank=measurement.rank,
-            )
-        )
-    if not dataset.samples:
+    """Join per-rank WER measurements with program features (columnar).
+
+    The campaign's ``WerColumnStore`` columns become the dataset columns
+    directly — codes, operating points and targets are shared or copied
+    array-wise, and no ``WerMeasurement``/``Sample`` objects are built.
+    """
+    store = campaign.wer_columns()
+    if not len(store):
         raise DataError("campaign contains no WER measurements")
-    return dataset
+    names = store.workloads
+    resolved = _profiles_for(sorted(names), profiles)
+    rows = store.rows
+    columns = ColumnarDataset(
+        workloads=names,
+        workload_codes=rows["workload"],
+        operating_columns=np.column_stack(
+            (rows["trefp_s"], rows["vdd_v"], rows["temperature_c"])
+        ),
+        targets=np.array(rows["wer"]),
+        features_by_workload={name: resolved[name].features for name in names},
+        ranks=store.ranks,
+        rank_codes=rows["rank"],
+    )
+    return ErrorDataset(columns=columns)
 
 
 def build_pue_dataset(
@@ -131,23 +328,28 @@ def build_pue_dataset(
     vdd_v: float = 1.428,
 ) -> ErrorDataset:
     """Join the 70 C UE study with program features (target = PUE)."""
-    workloads = sorted({s.workload for s in campaign.pue_summaries})
-    resolved = _profiles_for(workloads, profiles)
-    dataset = ErrorDataset()
-    for summary in campaign.pue_summaries:
-        profile = resolved[summary.workload]
-        op = OperatingPoint(
-            trefp_s=summary.trefp_s, vdd_v=vdd_v, temperature_c=summary.temperature_c
-        )
-        dataset.add(
-            Sample(
-                workload=summary.workload,
-                operating_point=op,
-                target=summary.pue,
-                program_features=profile.features,
-                rank=None,
-            )
-        )
-    if not dataset.samples:
+    summaries = campaign.pue_summaries
+    if not summaries:
         raise DataError("campaign contains no UE observations")
-    return dataset
+    names: List[str] = []
+    codes_by_name: Dict[str, int] = {}
+    workload_codes = np.empty(len(summaries), dtype=np.int64)
+    operating = np.empty((len(summaries), 3), dtype=np.float64)
+    targets = np.empty(len(summaries), dtype=np.float64)
+    for i, summary in enumerate(summaries):
+        code = codes_by_name.get(summary.workload)
+        if code is None:
+            code = codes_by_name[summary.workload] = len(names)
+            names.append(summary.workload)
+        workload_codes[i] = code
+        operating[i] = (summary.trefp_s, vdd_v, summary.temperature_c)
+        targets[i] = summary.pue
+    resolved = _profiles_for(sorted(names), profiles)
+    columns = ColumnarDataset(
+        workloads=names,
+        workload_codes=workload_codes,
+        operating_columns=operating,
+        targets=targets,
+        features_by_workload={name: resolved[name].features for name in names},
+    )
+    return ErrorDataset(columns=columns)

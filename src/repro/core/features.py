@@ -15,7 +15,7 @@ features.  The paper evaluates three such subsets:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +60,30 @@ class FeatureSet:
         operating = [op.trefp_s, op.vdd_v, op.temperature_c]
         program = [float(program_values[f]) for f in self.program_features]
         return np.array(operating + program, dtype=float)
+
+    def program_matrix(
+        self,
+        workloads: Sequence[str],
+        features_by_workload: Mapping[str, Mapping[str, float]],
+    ) -> np.ndarray:
+        """One program-feature row per workload, for a vectorized join.
+
+        Row ``i`` holds ``workloads[i]``'s feature values in
+        ``program_features`` order; a columnar dataset fancy-indexes this
+        small table by workload code instead of building one input row
+        per sample.  Missing values raise the same
+        :class:`ConfigurationError` as :meth:`build_row`.
+        """
+        rows = []
+        for workload in workloads:
+            values = features_by_workload[workload]
+            missing = [f for f in self.program_features if f not in values]
+            if missing:
+                raise ConfigurationError(f"missing program feature values: {missing}")
+            rows.append([float(values[f]) for f in self.program_features])
+        if not rows:
+            return np.empty((0, len(self.program_features)), dtype=float)
+        return np.array(rows, dtype=float)
 
 
 #: Table III, input set 1: the strongly correlated features plus the new metrics.

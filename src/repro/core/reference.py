@@ -1,0 +1,82 @@
+"""Per-sample reference implementations of the dataset builders.
+
+:func:`reference_build_wer_dataset` / :func:`reference_build_pue_dataset`
+are the pre-columnar bodies of ``build_wer_dataset`` /
+``build_pue_dataset``: one :class:`~repro.core.dataset.Sample` per
+measurement, matrices assembled row by row.  They exist — mirroring
+``repro.characterization.reference`` for the grid engine — so the
+equivalence tests and the throughput benchmark check the columnar
+builders against an *independent* implementation rather than against
+themselves: the columnar path must stay bit-identical to these
+functions' ``(X, y, groups)`` output for the same campaign.  Any change
+to the dataset contract must update this reference and the pinning
+suites (``tests/test_columnar_dataset.py``,
+``benchmarks/test_dataset_throughput.py``) together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.characterization.campaign import CampaignResult
+from repro.core.dataset import ErrorDataset, Sample, _profiles_for
+from repro.dram.operating import OperatingPoint
+from repro.errors import DataError
+from repro.profiling.profile import WorkloadProfile
+
+
+def reference_build_wer_dataset(
+    campaign: CampaignResult,
+    profiles: Optional[Dict[str, WorkloadProfile]] = None,
+) -> ErrorDataset:
+    """Join per-rank WER measurements with program features, sample by sample."""
+    workloads = sorted({m.workload for m in campaign.wer_measurements})
+    resolved = _profiles_for(workloads, profiles)
+    dataset = ErrorDataset()
+    for measurement in campaign.wer_measurements:
+        profile = resolved[measurement.workload]
+        op = OperatingPoint(
+            trefp_s=measurement.trefp_s,
+            vdd_v=measurement.vdd_v,
+            temperature_c=measurement.temperature_c,
+        )
+        dataset.add(
+            Sample(
+                workload=measurement.workload,
+                operating_point=op,
+                target=measurement.wer,
+                program_features=profile.features,
+                rank=measurement.rank,
+            )
+        )
+    if not dataset.samples:
+        raise DataError("campaign contains no WER measurements")
+    return dataset
+
+
+def reference_build_pue_dataset(
+    campaign: CampaignResult,
+    profiles: Optional[Dict[str, WorkloadProfile]] = None,
+    vdd_v: float = 1.428,
+) -> ErrorDataset:
+    """Join the 70 C UE study with program features, sample by sample."""
+    workloads = sorted({s.workload for s in campaign.pue_summaries})
+    resolved = _profiles_for(workloads, profiles)
+    dataset = ErrorDataset()
+    for summary in campaign.pue_summaries:
+        profile = resolved[summary.workload]
+        op = OperatingPoint(
+            trefp_s=summary.trefp_s, vdd_v=vdd_v, temperature_c=summary.temperature_c
+        )
+        dataset.add(
+            Sample(
+                workload=summary.workload,
+                operating_point=op,
+                target=summary.pue,
+                program_features=profile.features,
+                rank=None,
+            )
+        )
+    if not dataset.samples:
+        raise DataError("campaign contains no UE observations")
+    return dataset

@@ -22,9 +22,16 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.dram.ecc import ErrorClass
 from repro.dram.geometry import CellLocation, RankLocation
 from repro.errors import ConfigurationError
+
+#: Stable integer code per error class, for the vectorized count queries.
+_CLASS_CODES: Dict[ErrorClass, int] = {
+    cls: code for code, cls in enumerate(ErrorClass)
+}
 
 
 @dataclass(frozen=True)
@@ -63,6 +70,24 @@ class ErrorLog:
         self._timestamps: List[float] = []
         self._workloads: List[str] = []
         self._materialized: Optional[List[ErrorRecord]] = None
+        self._class_codes: Optional[np.ndarray] = None
+
+    def _codes(self) -> np.ndarray:
+        """Cached integer-code view of the class column.
+
+        Appends only ever grow the log, so a length check invalidates
+        the cache; ``clear`` drops it explicitly (a cleared-and-refilled
+        log can reach the old length again).  Repeated count queries
+        over a grown log then run as one numpy comparison instead of a
+        Python scan per query.
+        """
+        if self._class_codes is None or len(self._class_codes) != len(self._classes):
+            self._class_codes = np.fromiter(
+                (_CLASS_CODES[cls] for cls in self._classes),
+                dtype=np.int8,
+                count=len(self._classes),
+            )
+        return self._class_codes
 
     def __len__(self) -> int:
         return len(self._classes)
@@ -127,6 +152,7 @@ class ErrorLog:
         self._timestamps.clear()
         self._workloads.clear()
         self._materialized = None
+        self._class_codes = None
 
     # -- queries -----------------------------------------------------------
     def records(self, error_class: Optional[ErrorClass] = None) -> List[ErrorRecord]:
@@ -138,7 +164,7 @@ class ErrorLog:
     def count(self, error_class: Optional[ErrorClass] = None) -> int:
         if error_class is None:
             return len(self._classes)
-        return sum(1 for cls in self._classes if cls is error_class)
+        return int(np.count_nonzero(self._codes() == _CLASS_CODES[error_class]))
 
     def unique_word_locations(
         self, error_class: ErrorClass = ErrorClass.CORRECTED
@@ -174,7 +200,9 @@ class ErrorLog:
 
     def has_uncorrectable(self) -> bool:
         """True when the log contains at least one UE (the run crashed)."""
-        return any(cls is ErrorClass.UNCORRECTABLE for cls in self._classes)
+        return bool(
+            np.any(self._codes() == _CLASS_CODES[ErrorClass.UNCORRECTABLE])
+        )
 
     def first_uncorrectable(self) -> Optional[ErrorRecord]:
         """The earliest UE in the log, if any."""

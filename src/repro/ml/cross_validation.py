@@ -26,12 +26,16 @@ class LeaveOneGroupOut:
         n_samples = len(X)
         if groups_arr.shape[0] != n_samples:
             raise DataError("groups must have one entry per sample")
-        unique_groups = np.unique(groups_arr)
+        # Factorize once: fold masks are integer-code comparisons instead of
+        # one full string-array comparison per group (groups are typically
+        # workload names, or already integer group codes from a columnar
+        # dataset).  Folds come out in sorted-group order, as before.
+        unique_groups, codes = np.unique(groups_arr, return_inverse=True)
         if unique_groups.shape[0] < 2:
             raise DataError("LeaveOneGroupOut requires at least 2 distinct groups")
         indices = np.arange(n_samples)
-        for group in unique_groups:
-            test_mask = groups_arr == group
+        for code in range(unique_groups.shape[0]):
+            test_mask = codes == code
             yield indices[~test_mask], indices[test_mask]
 
     def get_n_splits(self, groups: Sequence) -> int:

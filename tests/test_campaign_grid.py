@@ -321,7 +321,22 @@ class TestColumnarAggregations:
         with pytest.raises(CharacterizationError):
             store.mean_wer_by_workload(1.173, 50.0)
 
-    def test_store_tracks_list_replacement_and_invalidation(self):
+    def test_sweep_extends_previously_read_measurement_list_in_place(self):
+        # Regression: a caller that reads wer_measurements before the sweep
+        # holds the canonical list — block ingestion must extend that list
+        # in place, not detach it for the columnar fast path.
+        config = CampaignConfig(
+            workloads=("backprop",), trefp_values_s=(2.283,), temperatures_c=(50.0,)
+        )
+        campaign = CharacterizationCampaign(config=config, seed=3)
+        result = CampaignResult(config=config)
+        held = result.wer_measurements
+        assert held == []
+        campaign.run_wer_sweep(result)
+        assert len(held) == 8
+        assert held is result.wer_measurements
+        # And the columnar view serves the same rows.
+        assert len(result.wer_columns()) == 8
         rank = next(CharacterizationExperiment().server.geometry.iter_ranks())
         def measurement(wer):
             return WerMeasurement(

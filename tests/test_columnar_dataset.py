@@ -1,0 +1,169 @@
+"""Columnar dataset builders: equivalence with the per-sample reference.
+
+``build_wer_dataset`` / ``build_pue_dataset`` stream a campaign's
+columnar store straight into a :class:`ColumnarDataset`; the pre-columnar
+per-``Sample`` implementations live on in ``repro.core.reference`` as the
+independent reference.  Every matrix comparison in this file is exact
+(``tobytes()`` on floats) — that is the columnar-vs-per-sample API
+contract, mirroring the grid engine's scalar-vs-batch contract.
+
+Also pinned here: the dataset error paths (missing profiles list every
+absent workload, empty campaigns raise for both builders, rank-less
+datasets raise from ``ranks()``) and mutation semantics of the lazily
+materialized sample view.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.characterization.campaign import CampaignConfig, CampaignResult
+from repro.core.dataset import ErrorDataset, build_pue_dataset, build_wer_dataset
+from repro.core.features import INPUT_SET_1, INPUT_SET_2, INPUT_SET_3
+from repro.core.reference import (
+    reference_build_pue_dataset,
+    reference_build_wer_dataset,
+)
+from repro.errors import DataError
+
+
+def _assert_identical_matrices(columnar, reference, feature_set):
+    Xc, yc, gc = columnar.matrices(feature_set)
+    Xr, yr, gr = reference.matrices(feature_set)
+    assert Xc.dtype == Xr.dtype and Xc.shape == Xr.shape
+    assert Xc.tobytes() == Xr.tobytes()
+    assert yc.tobytes() == yr.tobytes()
+    assert bool((gc == gr).all())
+
+
+class TestColumnarEquivalence:
+    @pytest.mark.parametrize("feature_set", [INPUT_SET_1, INPUT_SET_2, INPUT_SET_3],
+                             ids=lambda fs: fs.name)
+    def test_wer_matrices_bit_identical(self, small_campaign, small_profiles,
+                                        feature_set):
+        columnar = build_wer_dataset(small_campaign, small_profiles)
+        reference = reference_build_wer_dataset(small_campaign, small_profiles)
+        _assert_identical_matrices(columnar, reference, feature_set)
+
+    def test_pue_matrices_bit_identical(self, small_campaign, small_profiles):
+        columnar = build_pue_dataset(small_campaign, small_profiles)
+        reference = reference_build_pue_dataset(small_campaign, small_profiles)
+        _assert_identical_matrices(columnar, reference, INPUT_SET_2)
+
+    def test_materialized_samples_equal_reference(self, small_campaign,
+                                                  small_profiles):
+        columnar = build_wer_dataset(small_campaign, small_profiles)
+        reference = reference_build_wer_dataset(small_campaign, small_profiles)
+        assert columnar.samples == reference.samples
+        pue = build_pue_dataset(small_campaign, small_profiles)
+        assert pue.samples == reference_build_pue_dataset(
+            small_campaign, small_profiles
+        ).samples
+
+    def test_group_accessors_match(self, small_campaign, small_profiles):
+        columnar = build_wer_dataset(small_campaign, small_profiles)
+        reference = reference_build_wer_dataset(small_campaign, small_profiles)
+        assert columnar.workloads() == reference.workloads()
+        assert columnar.ranks() == reference.ranks()
+        assert columnar.targets_by_workload() == reference.targets_by_workload()
+
+    def test_filter_rank_stays_columnar_and_matches(self, small_campaign,
+                                                    small_profiles):
+        columnar = build_wer_dataset(small_campaign, small_profiles)
+        reference = reference_build_wer_dataset(small_campaign, small_profiles)
+        for rank in reference.ranks()[:3]:
+            filtered = columnar.filter_rank(rank)
+            assert filtered.columns() is not None
+            _assert_identical_matrices(
+                filtered, reference.filter_rank(rank), INPUT_SET_1
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16),
+           keep=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_measurement_subsets_match_reference(self, small_campaign,
+                                                 small_profiles, seed, keep):
+        """Hypothesis: any campaign subset builds identical matrices."""
+        measurements = small_campaign.wer_measurements
+        rng = np.random.default_rng(seed)
+        mask = rng.random(len(measurements)) < keep
+        if not mask.any():
+            mask[int(rng.integers(len(measurements)))] = True
+        subset = [m for m, kept in zip(measurements, mask) if kept]
+        campaign = CampaignResult(config=small_campaign.config,
+                                  wer_measurements=subset)
+        columnar = build_wer_dataset(campaign, small_profiles)
+        reference = reference_build_wer_dataset(campaign, small_profiles)
+        _assert_identical_matrices(columnar, reference, INPUT_SET_1)
+        assert columnar.samples == reference.samples
+
+
+class TestDatasetErrorPaths:
+    def test_missing_profiles_error_lists_all_missing_workloads(
+        self, small_campaign, small_profiles
+    ):
+        partial = {"backprop": small_profiles["backprop"]}
+        with pytest.raises(DataError) as excinfo:
+            build_wer_dataset(small_campaign, partial)
+        message = str(excinfo.value)
+        for workload in ("bfs", "kmeans", "memcached", "srad(par)"):
+            assert workload in message
+
+    def test_empty_campaign_raises_for_both_builders(self):
+        empty = CampaignResult(config=CampaignConfig())
+        with pytest.raises(DataError):
+            build_wer_dataset(empty)
+        with pytest.raises(DataError):
+            build_pue_dataset(empty)
+
+    def test_pue_only_dataset_ranks_raises(self, small_campaign, small_profiles):
+        pue = build_pue_dataset(small_campaign, small_profiles)
+        with pytest.raises(DataError):
+            pue.ranks()
+
+    def test_empty_dataset_ranks_raises(self):
+        with pytest.raises(DataError):
+            ErrorDataset().ranks()
+
+    def test_unknown_rank_filter_raises(self, small_wer_dataset):
+        from repro.dram.geometry import RankLocation
+
+        with pytest.raises(DataError):
+            small_wer_dataset.filter_rank(RankLocation(7, 1))
+
+    def test_empty_columnar_dataset_matrices_raise(self, small_campaign,
+                                                   small_profiles):
+        dataset = build_wer_dataset(small_campaign, small_profiles)
+        with pytest.raises(DataError):
+            dataset.columns().subset(
+                np.zeros(len(dataset), dtype=bool)
+            ).matrices(INPUT_SET_1)
+
+
+class TestMutationSemantics:
+    def test_add_drops_columnar_backing(self, small_campaign, small_profiles):
+        dataset = build_wer_dataset(small_campaign, small_profiles)
+        assert dataset.columns() is not None
+        sample = dataset.samples[0]
+        dataset.add(sample)
+        assert dataset.columns() is None
+        assert len(dataset) == len(small_campaign.wer_measurements) + 1
+        # The per-sample fallback serves matrices after mutation.
+        X, y, groups = dataset.matrices(INPUT_SET_1)
+        assert X.shape[0] == len(dataset)
+
+    def test_direct_append_to_samples_detected_by_length(
+        self, small_campaign, small_profiles
+    ):
+        dataset = build_wer_dataset(small_campaign, small_profiles)
+        dataset.samples.append(dataset.samples[0])
+        assert dataset.columns() is None
+        assert dataset.matrices(INPUT_SET_1)[0].shape[0] == len(dataset)
+
+    def test_samples_and_columns_are_mutually_exclusive(
+        self, small_campaign, small_profiles
+    ):
+        columnar = build_wer_dataset(small_campaign, small_profiles)
+        with pytest.raises(DataError):
+            ErrorDataset(samples=[], columns=columnar.columns())

@@ -270,6 +270,38 @@ class TestErrorLog:
             log.append_batch([ErrorClass.CORRECTED], [location, location], 1.0)
         assert len(log) == 0
 
+    def test_count_queries_stay_correct_as_log_grows(self):
+        # The class column is queried through a cached numpy code array;
+        # appends and clear must invalidate it (length heuristic).
+        log = ErrorLog()
+        assert log.count(ErrorClass.CORRECTED) == 0
+        log.append(self._record(row=0))
+        assert log.count(ErrorClass.CORRECTED) == 1
+        log.append_batch(
+            [ErrorClass.CORRECTED, ErrorClass.UNCORRECTABLE],
+            [CellLocation(0, 0, 0, 1, 0), CellLocation(0, 0, 0, 2, 0)],
+            timestamp_s=2.0, workload="wl",
+        )
+        assert log.count(ErrorClass.CORRECTED) == 2
+        assert log.count(ErrorClass.UNCORRECTABLE) == 1
+        assert log.count() == 3
+        assert log.has_uncorrectable()
+        log.clear()
+        assert log.count(ErrorClass.CORRECTED) == 0
+        assert not log.has_uncorrectable()
+
+    def test_clear_then_refill_to_same_length_rebuilds_code_cache(self):
+        # Regression: clear() must drop the cached code array — a refill
+        # to the old length would otherwise satisfy the length heuristic
+        # and serve the pre-clear classes.
+        log = ErrorLog()
+        log.append(self._record(cls=ErrorClass.UNCORRECTABLE))
+        assert log.has_uncorrectable()            # builds the cache (len 1)
+        log.clear()
+        log.append(self._record(cls=ErrorClass.CORRECTED))
+        assert not log.has_uncorrectable()
+        assert log.count(ErrorClass.CORRECTED) == 1
+
     def test_interleaved_appends_and_queries_stay_consistent(self):
         log = ErrorLog()
         log.append(self._record(row=0, t=1.0))

@@ -86,6 +86,18 @@ class TestSplitters:
         with pytest.raises(DataError):
             list(LeaveOneGroupOut().split([1, 2], ["x", "x"]))
 
+    def test_leave_one_group_out_accepts_integer_group_codes(self):
+        # Columnar datasets hand over dictionary-encoded group codes; the
+        # folds must be identical to splitting on the decoded names.
+        names = ["a", "a", "b", "c", "c", "c"]
+        codes = [0, 0, 1, 2, 2, 2]
+        by_name = list(LeaveOneGroupOut().split(range(6), names))
+        by_code = list(LeaveOneGroupOut().split(range(6), codes))
+        assert len(by_name) == len(by_code) == 3
+        for (train_n, test_n), (train_c, test_c) in zip(by_name, by_code):
+            assert train_n.tolist() == train_c.tolist()
+            assert test_n.tolist() == test_c.tolist()
+
     def test_kfold_partitions_everything_once(self):
         splitter = KFold(n_splits=4)
         seen = []
