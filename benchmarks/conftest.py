@@ -5,12 +5,12 @@ The full characterization campaign (14 benchmarks x 4 refresh periods x
 Fig. 13 case study are run once per session and shared by every
 benchmark.
 
-The throughput benchmarks (SECDED decode, campaign grid, dataset
-assembly) report their floors through one shared :class:`BenchReport`
-fixture so the scalar/batch timings print uniformly, and the measured
-speedups are dumped to a JSON file (``BENCH_5.json`` by default,
-overridable via ``BENCH_REPORT_JSON``) that CI uploads as a per-PR
-artifact.
+The throughput benchmarks (SECDED decode, the packed-lane codec,
+campaign grid, dataset assembly) report their floors through one shared
+:class:`BenchReport` fixture so the scalar/batch timings print
+uniformly, and the measured speedups are dumped to a JSON file
+(``BENCH_6.json`` by default, overridable via ``BENCH_REPORT_JSON``)
+that CI uploads as a per-PR artifact.
 """
 
 from __future__ import annotations
@@ -77,7 +77,7 @@ def bench_report():
     report = BenchReport()
     yield report
     if report.entries:
-        path = os.environ.get("BENCH_REPORT_JSON", "BENCH_5.json")
+        path = os.environ.get("BENCH_REPORT_JSON", "BENCH_6.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(
                 {"benchmarks": sorted(report.entries.values(),

@@ -332,6 +332,7 @@ class CharacterizationExperiment:
         idle_s: float = 600.0,
         calibration: Optional[DramCalibration] = None,
         seed: Optional[int] = None,
+        block_words: int = 65536,
     ) -> MechanismCheckResult:
         """Cross-check an operating point against the explicit cell array.
 
@@ -343,6 +344,11 @@ class CharacterizationExperiment:
         validated mechanism-level.  The default calibration is a
         deliberately weak cell population: a tiny array must exhibit
         failures for the check to say anything.
+
+        The sweep addresses the array by word index (the simulator's
+        packed fast path) and streams in ``block_words`` slabs, so
+        million-word checks never materialize per-location objects or
+        all-cell temporaries.
         """
         simulator = CellArraySimulator(
             CellArrayConfig(
@@ -357,6 +363,7 @@ class CharacterizationExperiment:
                     )
                 ),
                 seed=self.seed if seed is None else seed,
+                block_words=block_words,
             )
         )
         if not 0 < num_words <= simulator.geometry.total_words:
@@ -372,12 +379,10 @@ class CharacterizationExperiment:
         if behavior is not None:
             density = min(max(behavior.data_entropy_bits / 32.0, 0.0), 1.0)
         bits = (rng.random((num_words, units.WORD_BITS)) < density).astype(np.uint8)
-        locations = [
-            simulator.geometry.cell_from_word_index(i) for i in range(num_words)
-        ]
-        simulator.write_batch(locations, bits_to_words(bits))
+        words = np.arange(num_words, dtype=np.int64)
+        simulator.write_batch(words, bits_to_words(bits))
         simulator.idle(idle_s)
-        sweep = simulator.read_batch(locations, workload="mechanism-check")
+        sweep = simulator.read_batch(words, workload="mechanism-check")
         return MechanismCheckResult(
             operating_point=op,
             words=num_words,

@@ -36,12 +36,37 @@ additionally lets earlier accesses disturb later ones within the same
 burst; at the default interference strength the difference is a
 sub-percent retention shift.)  Locations within one batch must be
 unique — duplicated words would alias the in-place bookkeeping.
+
+Batch locations may be given either as a sequence of
+:class:`CellLocation` objects or directly as a 1-D integer array of word
+indices (``geometry.word_index`` order) — the index form is the
+million-word fast path, skipping per-location Python objects entirely.
+
+Streaming and memory
+--------------------
+Codewords, VRT flags and discharge polarities are stored bit-packed as
+``(n_words, 2)`` uint64 lanes (see :mod:`repro.dram.ecc`), and every
+bulk operation — initial retention sampling, ``write_batch``,
+``read_batch`` — streams through the array in blocks of
+``config.block_words`` words, so peak temporary allocation is bounded by
+the block size rather than the batch size.  Streaming is exact, not an
+approximation: blocks only touch their own words' state, and the one
+cross-word effect (row-hammer disturbance) is applied after every block
+has been sensed, which is precisely the all-at-once burst semantics
+above.  Results are therefore bit-identical for any ``block_words``.
+
+The old hard 50M-cell cap is replaced by a memory-budget check: the
+simulator computes its resident bytes per word (dominated by the
+per-cell float64 retention table) and refuses geometries that exceed
+``config.memory_budget_bytes``, so a million-word (72M-cell) array fits
+comfortably in the default 2 GiB budget while full-scale campaign
+geometries are still rejected with the same guidance.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -54,6 +79,8 @@ from repro.dram.ecc import (
     DecodeResult,
     ErrorClass,
     SecdedCode,
+    pack_bits,
+    unpack_codewords,
 )
 from repro.dram.geometry import CellLocation, DramGeometry, small_geometry
 from repro.dram.records import ErrorLog
@@ -65,6 +92,14 @@ _CORRECTED_CODE = ERROR_CLASS_CODES[ErrorClass.CORRECTED]
 #: decode-code -> ErrorClass lookup as an object array, so a whole batch of
 #: error codes maps to classes in one fancy-indexing operation
 _ERROR_CLASS_BY_CODE = np.array(ERROR_CLASS_ORDER, dtype=object)
+
+#: Locations accepted by the batch API: CellLocation objects or word indices.
+BatchLocations = Union[Sequence[CellLocation], np.ndarray]
+
+#: Resident bytes per word of simulator state: the (72,) float64 retention
+#: row dominates; three uint64 lane pairs (codeword, VRT, discharge) plus
+#: float64 recharge/exposure/disturbance counters and the written flag.
+_STATE_BYTES_PER_WORD = units.CODEWORD_BITS * 8 + 3 * 16 + 3 * 8 + 1
 
 
 @dataclass
@@ -89,6 +124,11 @@ class CellArrayConfig:
     #: weaker population so failures become observable in tiny arrays
     calibration: DramCalibration = DEFAULT_CALIBRATION
     seed: Optional[int] = None
+    #: streaming block size for bulk operations; results are bit-identical
+    #: for any value, only peak temporary allocation changes
+    block_words: int = 65536
+    #: resident-state budget replacing the old hard 50M-cell cap
+    memory_budget_bytes: int = 2 * 1024 ** 3
 
     def __post_init__(self) -> None:
         if self.trefp_s <= 0:
@@ -99,13 +139,22 @@ class CellArrayConfig:
             raise ConfigurationError("vrt_fraction must be in [0, 1]")
         if not 0.0 <= self.true_cell_fraction <= 1.0:
             raise ConfigurationError("true_cell_fraction must be in [0, 1]")
+        if self.block_words < 1:
+            raise ConfigurationError("block_words must be at least 1")
+        if self.memory_budget_bytes < 1:
+            raise ConfigurationError("memory_budget_bytes must be positive")
 
 
 @dataclass(frozen=True)
 class BatchReadResult:
-    """Outcome of one burst read of many words."""
+    """Outcome of one burst read of many words.
 
-    locations: Sequence[CellLocation]
+    ``locations`` mirrors whatever addressing the read used: a sequence
+    of :class:`CellLocation` objects, or a word-index array for the
+    index-addressed fast path.
+    """
+
+    locations: BatchLocations
     decode: BatchDecodeResult
 
     def __len__(self) -> int:
@@ -115,47 +164,65 @@ class BatchReadResult:
         """Words per error class, including :attr:`ErrorClass.NO_ERROR`."""
         return self.decode.counts()
 
-    def error_locations(self) -> List[CellLocation]:
-        """Locations whose read produced any ECC event."""
+    def error_locations(self) -> List:
+        """Locations whose read produced any ECC event.
+
+        Entries match the type of ``locations``: CellLocation objects for
+        object-addressed reads, word indices for index-addressed reads.
+        """
         rows = np.flatnonzero(self.decode.error_codes != _NO_ERROR_CODE)
-        return [self.locations[i] for i in rows]
+        if isinstance(self.locations, np.ndarray):
+            # Fancy indexing: one vectorized gather, no per-row Python loop.
+            return list(self.locations[rows])
+        return [self.locations[int(row)] for row in rows]
 
 
 class CellArraySimulator:
-    """Mechanism-level simulation of a (small) ECC-protected DRAM array."""
+    """Mechanism-level simulation of an ECC-protected DRAM array."""
 
     def __init__(self, config: Optional[CellArrayConfig] = None) -> None:
         self.config = config or CellArrayConfig(geometry=small_geometry())
         self.geometry = self.config.geometry
         self._rng = np.random.default_rng(self.config.seed)
         self._code = SecdedCode()
+        self._block_words = int(self.config.block_words)
 
         n_words = self.geometry.total_words
-        n_cells = n_words * units.CODEWORD_BITS
-        if n_cells > 50_000_000:
+        required = n_words * _STATE_BYTES_PER_WORD
+        if required > self.config.memory_budget_bytes:
             raise ConfigurationError(
-                "cell-array simulation is meant for small geometries; use the "
-                "statistical model for full-scale campaigns"
+                f"cell-array state for {n_words} words needs ~{required} bytes, "
+                f"over the {self.config.memory_budget_bytes}-byte budget; use "
+                "the statistical model for full-scale campaigns or raise "
+                "CellArrayConfig.memory_budget_bytes"
             )
 
-        # Per-cell state, stored as (words, 72) arrays.
-        self.codewords = np.zeros((n_words, units.CODEWORD_BITS), dtype=np.uint8)
-        retention = sample_retention_times(
-            n_cells,
-            self.config.temperature_c,
-            self.config.vdd_v,
-            calibration=self.config.calibration.retention,
-            rng=self._rng,
-        ).reshape(n_words, units.CODEWORD_BITS)
-        # VRT cells: occasionally an order of magnitude weaker.
-        vrt_mask = self._rng.random((n_words, units.CODEWORD_BITS)) < self.config.vrt_fraction
-        self.base_retention_s = retention
-        self.vrt_mask = vrt_mask
+        # Per-cell state, bit-packed into (words, 2) uint64 lanes; only the
+        # retention table stays float64-per-cell.  Sampling streams in
+        # block-sized slabs — sequential Generator draws are bit-identical
+        # to one whole-array draw, so the seeded population is unchanged.
+        self.codewords = np.zeros((n_words, 2), dtype=np.uint64)
+        self.base_retention_s = np.empty((n_words, units.CODEWORD_BITS))
+        self.vrt_mask = np.empty((n_words, 2), dtype=np.uint64)
         #: discharge polarity of each cell (true-cell decays to 0, anti-cell to 1)
-        self.discharge_value = (
-            self._rng.random((n_words, units.CODEWORD_BITS))
-            >= self.config.true_cell_fraction
-        ).astype(np.uint8)
+        self.discharge_value = np.empty((n_words, 2), dtype=np.uint64)
+        for start, stop in self._blocks(n_words):
+            self.base_retention_s[start:stop] = sample_retention_times(
+                (stop - start) * units.CODEWORD_BITS,
+                self.config.temperature_c,
+                self.config.vdd_v,
+                calibration=self.config.calibration.retention,
+                rng=self._rng,
+            ).reshape(-1, units.CODEWORD_BITS)
+        for start, stop in self._blocks(n_words):
+            # VRT cells: occasionally an order of magnitude weaker.
+            draw = self._rng.random((stop - start, units.CODEWORD_BITS))
+            self.vrt_mask[start:stop] = pack_bits(draw < self.config.vrt_fraction)
+        for start, stop in self._blocks(n_words):
+            draw = self._rng.random((stop - start, units.CODEWORD_BITS))
+            self.discharge_value[start:stop] = pack_bits(
+                draw >= self.config.true_cell_fraction
+            )
 
         # Per-word bookkeeping.
         self.last_recharge_s = np.zeros(n_words)
@@ -168,15 +235,34 @@ class CellArraySimulator:
         self.error_log = ErrorLog()
 
     # ------------------------------------------------------------------
+    def _blocks(self, count: int):
+        """Yield (start, stop) streaming block bounds covering ``count`` items."""
+        for start in range(0, count, self._block_words):
+            yield start, min(start + self._block_words, count)
+
     def _word_index(self, location: CellLocation) -> int:
         return self.geometry.word_index(location)
 
-    def _word_indices(self, locations: Sequence[CellLocation]) -> np.ndarray:
-        indices = np.fromiter(
-            (self.geometry.word_index(location) for location in locations),
-            dtype=np.int64,
-            count=len(locations),
-        )
+    def _word_indices(self, locations: BatchLocations) -> np.ndarray:
+        if isinstance(locations, np.ndarray) and np.issubdtype(
+            locations.dtype, np.integer
+        ):
+            if locations.ndim != 1:
+                raise ConfigurationError(
+                    f"word-index locations must be 1-D, got shape {locations.shape}"
+                )
+            indices = locations.astype(np.int64, copy=False)
+            if indices.size and (
+                int(indices.min()) < 0
+                or int(indices.max()) >= self.geometry.total_words
+            ):
+                raise ConfigurationError("word index out of range for this geometry")
+        else:
+            indices = np.fromiter(
+                (self.geometry.word_index(location) for location in locations),
+                dtype=np.int64,
+                count=len(locations),
+            )
         if np.unique(indices).size != indices.size:
             raise ConfigurationError(
                 "batch operations require unique locations: duplicated words "
@@ -205,7 +291,7 @@ class CellArraySimulator:
         """Per-cell effective retention for a batch of words, as (N, 72)."""
         # Advanced indexing already yields a fresh array, safe to mutate.
         retention = self.base_retention_s[words]
-        retention[self.vrt_mask[words]] *= 0.1
+        retention[unpack_codewords(self.vrt_mask[words]) != 0] *= 0.1
         denom = 1.0 + self.config.interference_strength * self.disturbance[words]
         return retention / denom[:, None]
 
@@ -215,7 +301,13 @@ class CellArraySimulator:
         The word index layout is row-major within each bank, so the words
         of one physical row form one contiguous slab of ``columns_per_row``
         entries; a reshape exposes the disturbance counters row-by-row and
-        ``np.add.at`` accumulates duplicate hits from the same batch.
+        a bincount accumulates duplicate hits from the same batch (hit
+        counts are small integers, so adding them in one shot is exact —
+        bit-identical to repeated ``+= 1.0``).
+
+        This is the one cross-word effect of an access, so streamed bursts
+        must apply it only after every block has been sensed and
+        recharged — exactly the all-at-once burst semantics.
         """
         columns = self.geometry.columns_per_row
         rows = words // columns
@@ -225,19 +317,53 @@ class CellArraySimulator:
             rows[row_in_bank < self.geometry.rows_per_bank - 1] + 1,
         ])
         if neighbours.size:
-            np.add.at(self.disturbance.reshape(-1, columns), neighbours, 1.0)
+            hits = np.bincount(neighbours)
+            touched = np.flatnonzero(hits)
+            self.disturbance.reshape(-1, columns)[touched] += hits[touched][:, None]
 
     def _recharge(self, words: np.ndarray) -> None:
         self.last_recharge_s[words] = self.now_s
         self.max_exposure_s[words] = 0.0
         self.disturbance[words] = 0.0
 
+    def _log_block_errors(
+        self,
+        locations: BatchLocations,
+        words: np.ndarray,
+        base: int,
+        error_rows: np.ndarray,
+        error_codes: np.ndarray,
+        workload: str,
+    ) -> None:
+        """Append one streamed block's ECC events to the error log."""
+        if not error_rows.size:
+            return
+        if isinstance(locations, np.ndarray):
+            # Index-addressed read: materialise CellLocation objects only
+            # for the (sparse) error rows.
+            event_locations = [
+                self.geometry.cell_from_word_index(int(word))
+                for word in words[error_rows]
+            ]
+        else:
+            event_locations = [
+                locations[base + int(row)] for row in error_rows
+            ]
+        self.error_log.append_batch(
+            error_classes=_ERROR_CLASS_BY_CODE[error_codes[error_rows]].tolist(),
+            locations=event_locations,
+            timestamp_s=self.now_s,
+            workload=workload,
+        )
+
     # -- memory operations ---------------------------------------------------
-    def write_batch(self, locations: Sequence[CellLocation], data_values) -> None:
+    def write_batch(self, locations: BatchLocations, data_values) -> None:
         """Store one 64-bit value per location in a single burst.
 
         Writing recharges each word and resets its history, then the
         burst's row-hammer disturbances land on the neighbouring rows.
+        Encoding streams in ``block_words`` slabs straight into the
+        packed codeword lanes.
         """
         words = self._word_indices(locations)
         data = np.asarray(data_values)
@@ -245,56 +371,82 @@ class CellArraySimulator:
             raise ConfigurationError(
                 "locations and data_values must have equal length"
             )
-        # encode_batch validates the 64-bit range and raises ConfigurationError.
-        self.codewords[words] = self._code.encode_batch(data)
-        self._recharge(words)
-        self.word_written[words] = True
+        # _as_data_words validates the 64-bit range up front (raising
+        # ConfigurationError before any state mutation), so the per-block
+        # encode below can never fail halfway through the burst.
+        validated = self._code._as_data_words(data)
+        for start, stop in self._blocks(words.size):
+            block = words[start:stop]
+            self.codewords[block] = self._code.encode_packed(validated[start:stop])
+            self._recharge(block)
+            self.word_written[block] = True
         self._disturb_neighbour_rows(words)
 
-    def read_batch(self, locations: Sequence[CellLocation], workload: str = "") -> BatchReadResult:
-        """Read a burst of words: decay, SECDED decode, scrub, log — vectorized.
+    def read_batch(
+        self, locations: BatchLocations, workload: str = ""
+    ) -> BatchReadResult:
+        """Read a burst of words: decay, SECDED decode, scrub, log — streamed.
 
         Reading senses whole rows, so every word is recharged; single-bit
         errors are corrected in place (scrub-on-read) while multi-bit
-        corruption persists until rewritten.
+        corruption persists until rewritten.  The burst streams through
+        ``block_words`` slabs; per-word results are bit-identical for any
+        block size (see the module docstring).
         """
         words = self._word_indices(locations)
         unwritten = np.flatnonzero(~self.word_written[words])
         if unwritten.size:
-            raise SimulationError(f"read of unwritten location {locations[unwritten[0]]}")
+            if isinstance(locations, np.ndarray):
+                culprit = self.geometry.cell_from_word_index(
+                    int(words[unwritten[0]])
+                )
+            else:
+                culprit = locations[int(unwritten[0])]
+            raise SimulationError(f"read of unwritten location {culprit}")
 
-        self._record_exposure(words)
-        retention = self._effective_retention(words)
-        leaked = retention < self.max_exposure_s[words][:, None]
-        stored = self.codewords[words]
-        decayed = np.where(leaked, self.discharge_value[words], stored).astype(np.uint8)
+        error_codes = np.empty(words.size, dtype=np.uint8)
+        corrected_bits = np.empty(words.size, dtype=np.int64)
+        data_words = np.empty(words.size, dtype=np.uint64)
 
-        decode = self._code.decode_batch(decayed)
-        # Error logging is columnar: classes come from one fancy-indexing pass
-        # and the log ingests the whole burst at once — no per-event record
-        # objects, which used to dominate saturated sweeps with dense errors.
-        error_rows = np.flatnonzero(decode.error_codes != _NO_ERROR_CODE)
-        if error_rows.size:
-            self.error_log.append_batch(
-                error_classes=_ERROR_CLASS_BY_CODE[
-                    decode.error_codes[error_rows]
-                ].tolist(),
-                locations=[locations[row] for row in error_rows.tolist()],
-                timestamp_s=self.now_s,
-                workload=workload,
+        for start, stop in self._blocks(words.size):
+            block = words[start:stop]
+            self._record_exposure(block)
+            retention = self._effective_retention(block)
+            leaked = retention < self.max_exposure_s[block][:, None]
+            leak_lanes = pack_bits(leaked)
+            stored = self.codewords[block]
+            decayed = (stored & ~leak_lanes) | (self.discharge_value[block] & leak_lanes)
+
+            decode = self._code.decode_batch(decayed)
+            error_codes[start:stop] = decode.error_codes
+            corrected_bits[start:stop] = decode.corrected_bits
+            data_words[start:stop] = decode.data_words
+
+            error_rows = np.flatnonzero(decode.error_codes != _NO_ERROR_CODE)
+            self._log_block_errors(
+                locations, block, start, error_rows, decode.error_codes, workload
             )
 
-        # Scrub-on-read: corrected words are written back as valid codewords;
-        # multi-bit corruption persists (the data is lost until rewritten).
-        # Clean words are already valid codewords, so re-encoding them would
-        # be a bit-for-bit no-op — skip the encode work.
-        scrubbed = decode.error_codes == _CORRECTED_CODE
-        if scrubbed.any():
-            decayed[scrubbed] = self._code.encode_batch(decode.data_bits[scrubbed])
-        self.codewords[words] = decayed
-        self._recharge(words)
+            # Scrub-on-read: corrected words are written back as valid
+            # codewords; multi-bit corruption persists (the data is lost
+            # until rewritten).  Clean words are already valid codewords,
+            # so re-encoding them would be a bit-for-bit no-op.
+            scrubbed = decode.error_codes == _CORRECTED_CODE
+            if scrubbed.any():
+                decayed[scrubbed] = self._code.encode_packed(
+                    decode.data_words[scrubbed]
+                )
+            self.codewords[block] = decayed
+            self._recharge(block)
         self._disturb_neighbour_rows(words)
-        return BatchReadResult(locations=list(locations), decode=decode)
+
+        result_decode = BatchDecodeResult(
+            data_words=data_words,
+            error_codes=error_codes,
+            corrected_bits=corrected_bits,
+        )
+        kept = locations if isinstance(locations, np.ndarray) else list(locations)
+        return BatchReadResult(locations=kept, decode=result_decode)
 
     def write(self, location: CellLocation, data: int) -> None:
         """Store a 64-bit value; writing recharges and resets the word's history."""
@@ -324,7 +476,9 @@ class CellArraySimulator:
         """Let the array sit idle (only auto-refresh active) for ``duration_s``."""
         self.advance_time(duration_s)
 
-    def sweep_read(self, locations: List[CellLocation], workload: str = "") -> Dict[ErrorClass, int]:
+    def sweep_read(
+        self, locations: BatchLocations, workload: str = ""
+    ) -> Dict[ErrorClass, int]:
         """Read every location once and return error counts by class."""
         counts = self.read_batch(locations, workload=workload).counts()
         return {
