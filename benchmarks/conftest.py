@@ -6,11 +6,14 @@ Fig. 13 case study are run once per session and shared by every
 benchmark.
 
 The throughput benchmarks (SECDED decode, the packed-lane codec,
-campaign grid, dataset assembly) report their floors through one shared
-:class:`BenchReport` fixture so the scalar/batch timings print
-uniformly, and the measured speedups are dumped to a JSON file
-(``BENCH_6.json`` by default, overridable via ``BENCH_REPORT_JSON``)
-that CI uploads as a per-PR artifact.
+campaign grid, dataset assembly, telemetry overhead) report their floors
+through one shared :class:`BenchReport` fixture so the scalar/batch
+timings print uniformly, and the measured speedups are dumped to a JSON
+file (:data:`repro.telemetry.report.BENCH_ARTIFACT_NAME` by default,
+overridable via ``BENCH_REPORT_JSON``) that CI uploads as a per-PR
+artifact.  The whole benchmark session runs inside a telemetry session,
+and the artifact embeds the resulting :class:`RunReport` (span timings
+plus environment metadata) under a ``"run_report"`` key.
 """
 
 from __future__ import annotations
@@ -24,6 +27,8 @@ from repro import units
 from repro.characterization.campaign import CampaignConfig, CharacterizationCampaign
 from repro.core.dataset import build_pue_dataset, build_wer_dataset
 from repro.profiling.profiler import profile_workload
+from repro.telemetry import RunReport, telemetry_session
+from repro.telemetry.report import BENCH_ARTIFACT_NAME
 from repro.workloads.registry import campaign_workload_names
 
 
@@ -74,14 +79,19 @@ class BenchReport:
 
 @pytest.fixture(scope="session")
 def bench_report():
-    report = BenchReport()
-    yield report
+    with telemetry_session() as telemetry:
+        report = BenchReport()
+        yield report
+        run_report = RunReport.capture(telemetry)
     if report.entries:
-        path = os.environ.get("BENCH_REPORT_JSON", "BENCH_6.json")
+        path = os.environ.get("BENCH_REPORT_JSON", BENCH_ARTIFACT_NAME)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(
-                {"benchmarks": sorted(report.entries.values(),
-                                      key=lambda e: e["benchmark"])},
+                {
+                    "benchmarks": sorted(report.entries.values(),
+                                         key=lambda e: e["benchmark"]),
+                    "run_report": run_report.to_json_dict(),
+                },
                 handle, indent=2,
             )
             handle.write("\n")

@@ -16,7 +16,25 @@ Quickstart::
     predictor = WorkloadAwarePredictor().fit(campaign)
     result = predictor.predict("memcached", OperatingPoint.relaxed(2.283, 50.0))
     print(result.memory_wer, result.pue)
+
+Every module logs under the ``repro.*`` logger hierarchy; the library
+installs only a ``NullHandler`` (standard library practice), so nothing
+is printed unless the application configures logging.  Runtime telemetry
+(spans, counters, run reports) lives in :mod:`repro.telemetry` and is a
+no-op unless a session is opened::
+
+    from repro.telemetry import RunReport, telemetry_session
+
+    with telemetry_session() as tel:
+        campaign = run_default_campaign(parallel=4)
+    print(RunReport.capture(tel).render())
 """
+
+import logging as _logging
+
+# Library logging convention: a NullHandler on the package root, so
+# `repro.*` loggers never print unless the application opts in.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from repro.characterization import (
     CampaignConfig,
@@ -46,6 +64,14 @@ from repro.dram import (
     WorkloadBehavior,
 )
 from repro.profiling import WorkloadProfiler, profile_workload
+from repro.telemetry import (
+    RunReport,
+    Telemetry,
+    TelemetrySnapshot,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
 from repro.workloads import available_workloads, campaign_workload_names, create_workload
 
 __version__ = "1.0.0"
@@ -74,6 +100,12 @@ __all__ = [
     "WorkloadBehavior",
     "WorkloadProfiler",
     "profile_workload",
+    "RunReport",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
     "available_workloads",
     "campaign_workload_names",
     "create_workload",

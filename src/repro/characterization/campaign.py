@@ -36,10 +36,24 @@ after a sweep and materializes the flat ``WerMeasurement`` list lazily;
 hand-built results (tests, tools) may still treat ``wer_measurements``
 as an append-only list, and the columnar view tracks it with the same
 length/identity heuristic as before.
+
+Telemetry
+---------
+When the active :mod:`repro.telemetry` registry is enabled, campaigns
+record a span tree (``campaign.run`` → ``campaign.wer_sweep`` /
+``campaign.ue_sweep`` → ``workload:<name>`` → the experiment/model
+spans) plus row counters.  Parallel workers capture their own registry
+and ship a picklable snapshot home in the sweep outcome; the parent
+merges snapshots in workload order, so the merged report has the same
+per-workload span counts as a sequential run.  The default registry is
+a no-op, and enabling telemetry never changes results
+(``tests/test_telemetry_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import logging
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -60,7 +74,15 @@ from repro.dram.geometry import RankLocation
 from repro.dram.operating import OperatingPoint
 from repro.errors import CharacterizationError
 from repro.profiling.profiler import profile_workload
+from repro.telemetry import (
+    Telemetry,
+    TelemetrySnapshot,
+    get_telemetry,
+    set_telemetry,
+)
 from repro.workloads.registry import campaign_workload_names
+
+logger = logging.getLogger("repro.characterization.campaign")
 
 
 @dataclass(frozen=True)
@@ -336,16 +358,24 @@ class WorkloadSweepSpec:
     wer_repetitions: int
     ue_ops: Tuple[OperatingPoint, ...]
     ue_repetitions: int
+    #: capture telemetry in the worker and ship a snapshot back
+    telemetry: bool = False
 
 
 @dataclass
 class WorkloadSweepOutcome:
-    """Columnar blocks one worker sends back: CE rows, UE rows, summaries."""
+    """Columnar blocks one worker sends back: CE rows, UE rows, summaries.
+
+    ``telemetry`` carries the worker's picklable snapshot when the spec
+    requested capture; the parent merges outcomes in workload order, so
+    the merged span tree matches the sequential sweep's shape.
+    """
 
     workload: str
     wer_block: Optional[WerColumnStore]
     ue_block: Optional[WerColumnStore]
     pue_summaries: List[PueSummary]
+    telemetry: Optional[TelemetrySnapshot] = None
 
 
 def _run_workload_sweep(spec: WorkloadSweepSpec) -> WorkloadSweepOutcome:
@@ -354,29 +384,43 @@ def _run_workload_sweep(spec: WorkloadSweepSpec) -> WorkloadSweepOutcome:
     Module-level so it pickles; builds a fresh experiment around the
     spec's server copy.  Workload sweeps consume independent keyed RNG
     streams, so a fresh experiment reproduces the sequential results
-    bit for bit.
+    bit for bit.  Spans are recorded under the same
+    ``campaign.wer_sweep / campaign.ue_sweep -> workload:<name>`` names
+    the sequential path uses, so merged parallel reports line up with
+    sequential ones.
     """
-    experiment = CharacterizationExperiment(server=spec.server, seed=spec.seed)
-    profile = profile_workload(spec.workload)
-    wer_block: Optional[WerColumnStore] = None
-    ue_block: Optional[WerColumnStore] = None
-    summaries: List[PueSummary] = []
-    if spec.wer_ops:
-        wer_block = experiment.run_grid_columns(
-            spec.workload, spec.wer_ops,
-            repetitions=spec.wer_repetitions, profile=profile,
-        ).wer_block()
-    if spec.ue_ops:
-        grid = experiment.run_grid_columns(
-            spec.workload, spec.ue_ops,
-            repetitions=spec.ue_repetitions, profile=profile,
-        )
-        # WER data from the first 70 C repetition also feeds the dataset.
-        ue_block = grid.wer_block(first_repetition_only=True)
-        summaries = _grid_pue_summaries(grid)
+    worker_telemetry = Telemetry(enabled=spec.telemetry)
+    previous = set_telemetry(worker_telemetry)
+    try:
+        experiment = CharacterizationExperiment(server=spec.server, seed=spec.seed)
+        profile = profile_workload(spec.workload)
+        wer_block: Optional[WerColumnStore] = None
+        ue_block: Optional[WerColumnStore] = None
+        summaries: List[PueSummary] = []
+        if spec.wer_ops:
+            with worker_telemetry.span("campaign.wer_sweep"):
+                with worker_telemetry.span(f"workload:{spec.workload}"):
+                    wer_block = experiment.run_grid_columns(
+                        spec.workload, spec.wer_ops,
+                        repetitions=spec.wer_repetitions, profile=profile,
+                    ).wer_block()
+        if spec.ue_ops:
+            with worker_telemetry.span("campaign.ue_sweep"):
+                with worker_telemetry.span(f"workload:{spec.workload}"):
+                    grid = experiment.run_grid_columns(
+                        spec.workload, spec.ue_ops,
+                        repetitions=spec.ue_repetitions, profile=profile,
+                    )
+                    # WER data from the first 70 C repetition also feeds the
+                    # dataset.
+                    ue_block = grid.wer_block(first_repetition_only=True)
+                    summaries = _grid_pue_summaries(grid)
+    finally:
+        set_telemetry(previous)
     return WorkloadSweepOutcome(
         workload=spec.workload, wer_block=wer_block,
         ue_block=ue_block, pue_summaries=summaries,
+        telemetry=worker_telemetry.snapshot() if spec.telemetry else None,
     )
 
 
@@ -405,40 +449,75 @@ class CharacterizationCampaign:
         ops = self.config.wer_operating_points()
         if not ops:
             return
+        telemetry = get_telemetry()
+        workloads = self.config.resolved_workloads()
+        logger.info(
+            "WER sweep starting: %d workloads x %d operating points x %d reps",
+            len(workloads), len(ops), self.config.repetitions,
+        )
+        start = time.perf_counter()
         blocks = []
-        for workload in self.config.resolved_workloads():
-            profile = profile_workload(workload)
-            grid = self.experiment.run_grid_columns(
-                workload, ops, repetitions=self.config.repetitions, profile=profile
-            )
-            blocks.append(grid.wer_block())
+        with telemetry.span("campaign.wer_sweep"):
+            for workload in workloads:
+                logger.debug("WER sweep: workload %s", workload)
+                with telemetry.span(f"workload:{workload}"):
+                    profile = profile_workload(workload)
+                    grid = self.experiment.run_grid_columns(
+                        workload, ops, repetitions=self.config.repetitions,
+                        profile=profile,
+                    )
+                    blocks.append(grid.wer_block())
         result.extend_wer_columns(blocks)
+        telemetry.incr("campaign.wer_rows", sum(len(b) for b in blocks))
+        logger.info(
+            "WER sweep finished: %d workloads in %.3fs",
+            len(workloads), time.perf_counter() - start,
+        )
 
     def run_ue_sweep(self, result: CampaignResult) -> None:
         """The UE study: workloads x TREFP x 70 C, repeated 10 times (Fig. 9)."""
         ops = self.config.ue_operating_points()
         if not ops:
             return
+        telemetry = get_telemetry()
+        workloads = self.config.resolved_workloads()
+        logger.info(
+            "UE sweep starting: %d workloads x %d operating points x %d reps",
+            len(workloads), len(ops), self.config.ue_repetitions,
+        )
+        start = time.perf_counter()
         blocks = []
-        for workload in self.config.resolved_workloads():
-            profile = profile_workload(workload)
-            grid = self.experiment.run_grid_columns(
-                workload, ops, repetitions=self.config.ue_repetitions, profile=profile
-            )
-            # WER data from the first 70 C repetition also feeds the dataset.
-            blocks.append(grid.wer_block(first_repetition_only=True))
-            result.pue_summaries.extend(_grid_pue_summaries(grid))
+        with telemetry.span("campaign.ue_sweep"):
+            for workload in workloads:
+                logger.debug("UE sweep: workload %s", workload)
+                with telemetry.span(f"workload:{workload}"):
+                    profile = profile_workload(workload)
+                    grid = self.experiment.run_grid_columns(
+                        workload, ops, repetitions=self.config.ue_repetitions,
+                        profile=profile,
+                    )
+                    # WER data from the first 70 C repetition also feeds the
+                    # dataset.
+                    blocks.append(grid.wer_block(first_repetition_only=True))
+                    result.pue_summaries.extend(_grid_pue_summaries(grid))
         result.extend_wer_columns(blocks)
+        telemetry.incr("campaign.ue_rows", sum(len(b) for b in blocks))
+        logger.info(
+            "UE sweep finished: %d workloads in %.3fs",
+            len(workloads), time.perf_counter() - start,
+        )
 
     # ------------------------------------------------------------------
     def _workload_specs(self, include_ue_study: bool) -> List[WorkloadSweepSpec]:
         wer_ops = tuple(self.config.wer_operating_points())
         ue_ops = tuple(self.config.ue_operating_points()) if include_ue_study else ()
+        capture = get_telemetry().enabled
         return [
             WorkloadSweepSpec(
                 workload=workload, seed=self.experiment.seed, server=self.server,
                 wer_ops=wer_ops, wer_repetitions=self.config.repetitions,
                 ue_ops=ue_ops, ue_repetitions=self.config.ue_repetitions,
+                telemetry=capture,
             )
             for workload in self.config.resolved_workloads()
         ]
@@ -460,19 +539,34 @@ class CharacterizationCampaign:
         specs = self._workload_specs(include_ue_study)
         if not specs:
             return
-        with ProcessPoolExecutor(
-            max_workers=min(max_workers, len(specs))
-        ) as pool:
-            outcomes = list(pool.map(_run_workload_sweep, specs))
-        result.extend_wer_columns(
-            [o.wer_block for o in outcomes if o.wer_block is not None]
+        telemetry = get_telemetry()
+        workers = min(max_workers, len(specs))
+        telemetry.gauge("campaign.parallel_workers", workers)
+        logger.info(
+            "parallel sweep starting: %d workloads over %d workers",
+            len(specs), workers,
         )
+        start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_workload_sweep, specs))
+        # Worker snapshots merge in workload (submission) order, mirroring
+        # the deterministic block merge below — the combined span tree is
+        # independent of worker count and completion order.
+        for outcome in outcomes:
+            telemetry.merge_snapshot(outcome.telemetry)
+        wer_blocks = [o.wer_block for o in outcomes if o.wer_block is not None]
+        result.extend_wer_columns(wer_blocks)
+        telemetry.incr("campaign.wer_rows", sum(len(b) for b in wer_blocks))
         if include_ue_study:
-            result.extend_wer_columns(
-                [o.ue_block for o in outcomes if o.ue_block is not None]
-            )
+            ue_blocks = [o.ue_block for o in outcomes if o.ue_block is not None]
+            result.extend_wer_columns(ue_blocks)
+            telemetry.incr("campaign.ue_rows", sum(len(b) for b in ue_blocks))
             for outcome in outcomes:
                 result.pue_summaries.extend(outcome.pue_summaries)
+        logger.info(
+            "parallel sweep finished: %d workloads in %.3fs",
+            len(specs), time.perf_counter() - start,
+        )
 
     def run(
         self, include_ue_study: bool = True, parallel: Optional[int] = None
@@ -484,12 +578,13 @@ class CharacterizationCampaign:
         paths produce bit-identical results.
         """
         result = CampaignResult(config=self.config)
-        if parallel is None:
-            self.run_wer_sweep(result)
-            if include_ue_study:
-                self.run_ue_sweep(result)
-        else:
-            self._run_parallel(result, include_ue_study, parallel)
+        with get_telemetry().span("campaign.run"):
+            if parallel is None:
+                self.run_wer_sweep(result)
+                if include_ue_study:
+                    self.run_ue_sweep(result)
+            else:
+                self._run_parallel(result, include_ue_study, parallel)
         if result.num_wer_measurements == 0:
             raise CharacterizationError("campaign produced no measurements")
         return result

@@ -40,6 +40,7 @@ from repro.errors import CharacterizationError
 from repro.characterization.server import XGene2Server
 from repro.profiling.profile import WorkloadProfile
 from repro.profiling.profiler import profile_workload
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -189,33 +190,39 @@ class CharacterizationExperiment:
             repetition_indices = list(range(repetitions))
         else:
             repetition_indices = list(repetitions)
-        behavior = self._behavior(workload, profile)
-        configured = [self.server.configure(op) for op in ops]
-        model = self.server.error_model
-        if not repetition_indices:
-            empty = np.zeros((len(configured), 0, self.server.geometry.num_ranks))
-            return configured, behavior, empty, [[] for _ in configured]
+        telemetry = get_telemetry()
+        with telemetry.span("experiment.grid"):
+            behavior = self._behavior(workload, profile)
+            configured = [self.server.configure(op) for op in ops]
+            model = self.server.error_model
+            telemetry.incr("experiment.grid_points", len(configured))
+            telemetry.incr(
+                "experiment.grid_cells", len(configured) * len(repetition_indices)
+            )
+            if not repetition_indices:
+                empty = np.zeros((len(configured), 0, self.server.geometry.num_ranks))
+                return configured, behavior, empty, [[] for _ in configured]
 
-        rngs = [
-            [self._run_rng(workload, op, repetition) for repetition in repetition_indices]
-            for op in configured
-        ]
-        # The CE and UE models share the per-point retention failure
-        # probabilities — one batched CDF evaluation serves both grids.
-        p_ret = model.retention_bit_failure_probability_grid(configured)
-        # One batched draw per cell: (points, repetitions, ranks), noise and
-        # maturity scaling applied array-wide.
-        wer_grid = model.sample_rank_wer_grid(
-            configured, behavior, workload=workload, rngs=rngs, p_ret=p_ret
-        )
-        # WER keeps accumulating until the run ends; a shorter run only sees
-        # the fraction of error-prone locations discovered so far.
-        maturity = 1.0 - float(np.exp(-duration_s / model.calibration.convergence_tau_s))
-        wer_grid = wer_grid * maturity
-        ue_grid = model.sample_ue_events_grid(
-            configured, behavior, workload=workload, rngs=rngs, p_ret=p_ret
-        )
-        return configured, behavior, wer_grid, ue_grid
+            rngs = [
+                [self._run_rng(workload, op, repetition) for repetition in repetition_indices]
+                for op in configured
+            ]
+            # The CE and UE models share the per-point retention failure
+            # probabilities — one batched CDF evaluation serves both grids.
+            p_ret = model.retention_bit_failure_probability_grid(configured)
+            # One batched draw per cell: (points, repetitions, ranks), noise and
+            # maturity scaling applied array-wide.
+            wer_grid = model.sample_rank_wer_grid(
+                configured, behavior, workload=workload, rngs=rngs, p_ret=p_ret
+            )
+            # WER keeps accumulating until the run ends; a shorter run only sees
+            # the fraction of error-prone locations discovered so far.
+            maturity = 1.0 - float(np.exp(-duration_s / model.calibration.convergence_tau_s))
+            wer_grid = wer_grid * maturity
+            ue_grid = model.sample_ue_events_grid(
+                configured, behavior, workload=workload, rngs=rngs, p_ret=p_ret
+            )
+            return configured, behavior, wer_grid, ue_grid
 
     def run_grid(
         self,
@@ -380,9 +387,10 @@ class CharacterizationExperiment:
             density = min(max(behavior.data_entropy_bits / 32.0, 0.0), 1.0)
         bits = (rng.random((num_words, units.WORD_BITS)) < density).astype(np.uint8)
         words = np.arange(num_words, dtype=np.int64)
-        simulator.write_batch(words, bits_to_words(bits))
-        simulator.idle(idle_s)
-        sweep = simulator.read_batch(words, workload="mechanism-check")
+        with get_telemetry().span("experiment.mechanism_check"):
+            simulator.write_batch(words, bits_to_words(bits))
+            simulator.idle(idle_s)
+            sweep = simulator.read_batch(words, workload="mechanism-check")
         return MechanismCheckResult(
             operating_point=op,
             words=num_words,

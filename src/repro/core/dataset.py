@@ -36,6 +36,7 @@ from repro.dram.operating import OperatingPoint
 from repro.errors import DataError
 from repro.profiling.profile import WorkloadProfile
 from repro.profiling.profiler import profile_workload
+from repro.telemetry import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -302,24 +303,29 @@ def build_wer_dataset(
     directly — codes, operating points and targets are shared or copied
     array-wise, and no ``WerMeasurement``/``Sample`` objects are built.
     """
-    store = campaign.wer_columns()
-    if not len(store):
-        raise DataError("campaign contains no WER measurements")
-    names = store.workloads
-    resolved = _profiles_for(sorted(names), profiles)
-    rows = store.rows
-    columns = ColumnarDataset(
-        workloads=names,
-        workload_codes=rows["workload"],
-        operating_columns=np.column_stack(
-            (rows["trefp_s"], rows["vdd_v"], rows["temperature_c"])
-        ),
-        targets=np.array(rows["wer"]),
-        features_by_workload={name: resolved[name].features for name in names},
-        ranks=store.ranks,
-        rank_codes=rows["rank"],
-    )
-    return ErrorDataset(columns=columns)
+    telemetry = get_telemetry()
+    with telemetry.span("dataset.build_wer"):
+        store = campaign.wer_columns()
+        if not len(store):
+            raise DataError("campaign contains no WER measurements")
+        names = store.workloads
+        resolved = _profiles_for(sorted(names), profiles)
+        rows = store.rows
+        columns = ColumnarDataset(
+            workloads=names,
+            workload_codes=rows["workload"],
+            operating_columns=np.column_stack(
+                (rows["trefp_s"], rows["vdd_v"], rows["temperature_c"])
+            ),
+            targets=np.array(rows["wer"]),
+            features_by_workload={name: resolved[name].features for name in names},
+            ranks=store.ranks,
+            rank_codes=rows["rank"],
+        )
+        if telemetry.enabled:
+            telemetry.incr("dataset.wer_rows", len(columns))
+            telemetry.observe_array("dataset.wer_targets", columns.targets)
+        return ErrorDataset(columns=columns)
 
 
 def build_pue_dataset(
@@ -328,28 +334,33 @@ def build_pue_dataset(
     vdd_v: float = 1.428,
 ) -> ErrorDataset:
     """Join the 70 C UE study with program features (target = PUE)."""
-    summaries = campaign.pue_summaries
-    if not summaries:
-        raise DataError("campaign contains no UE observations")
-    names: List[str] = []
-    codes_by_name: Dict[str, int] = {}
-    workload_codes = np.empty(len(summaries), dtype=np.int64)
-    operating = np.empty((len(summaries), 3), dtype=np.float64)
-    targets = np.empty(len(summaries), dtype=np.float64)
-    for i, summary in enumerate(summaries):
-        code = codes_by_name.get(summary.workload)
-        if code is None:
-            code = codes_by_name[summary.workload] = len(names)
-            names.append(summary.workload)
-        workload_codes[i] = code
-        operating[i] = (summary.trefp_s, vdd_v, summary.temperature_c)
-        targets[i] = summary.pue
-    resolved = _profiles_for(sorted(names), profiles)
-    columns = ColumnarDataset(
-        workloads=names,
-        workload_codes=workload_codes,
-        operating_columns=operating,
-        targets=targets,
-        features_by_workload={name: resolved[name].features for name in names},
-    )
-    return ErrorDataset(columns=columns)
+    telemetry = get_telemetry()
+    with telemetry.span("dataset.build_pue"):
+        summaries = campaign.pue_summaries
+        if not summaries:
+            raise DataError("campaign contains no UE observations")
+        names: List[str] = []
+        codes_by_name: Dict[str, int] = {}
+        workload_codes = np.empty(len(summaries), dtype=np.int64)
+        operating = np.empty((len(summaries), 3), dtype=np.float64)
+        targets = np.empty(len(summaries), dtype=np.float64)
+        for i, summary in enumerate(summaries):
+            code = codes_by_name.get(summary.workload)
+            if code is None:
+                code = codes_by_name[summary.workload] = len(names)
+                names.append(summary.workload)
+            workload_codes[i] = code
+            operating[i] = (summary.trefp_s, vdd_v, summary.temperature_c)
+            targets[i] = summary.pue
+        resolved = _profiles_for(sorted(names), profiles)
+        columns = ColumnarDataset(
+            workloads=names,
+            workload_codes=workload_codes,
+            operating_columns=operating,
+            targets=targets,
+            features_by_workload={name: resolved[name].features for name in names},
+        )
+        if telemetry.enabled:
+            telemetry.incr("dataset.pue_rows", len(columns))
+            telemetry.observe_array("dataset.pue_targets", columns.targets)
+        return ErrorDataset(columns=columns)

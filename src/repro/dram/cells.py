@@ -65,6 +65,7 @@ geometries are still rejected with the same guidance.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -86,8 +87,13 @@ from repro.dram.geometry import CellLocation, DramGeometry, small_geometry
 from repro.dram.records import ErrorLog
 from repro.dram.retention import sample_retention_times
 from repro.errors import ConfigurationError, SimulationError
+from repro.telemetry import get_telemetry
+
+logger = logging.getLogger("repro.dram.cells")
 
 _NO_ERROR_CODE = ERROR_CLASS_CODES[ErrorClass.NO_ERROR]
+_UNCORRECTABLE_CODE = ERROR_CLASS_CODES[ErrorClass.UNCORRECTABLE]
+_SILENT_CODE = ERROR_CLASS_CODES[ErrorClass.SILENT]
 _CORRECTED_CODE = ERROR_CLASS_CODES[ErrorClass.CORRECTED]
 #: decode-code -> ErrorClass lookup as an object array, so a whole batch of
 #: error codes maps to classes in one fancy-indexing operation
@@ -190,12 +196,21 @@ class CellArraySimulator:
         n_words = self.geometry.total_words
         required = n_words * _STATE_BYTES_PER_WORD
         if required > self.config.memory_budget_bytes:
+            logger.info(
+                "rejecting cell-array geometry: %d words need ~%d bytes of "
+                "state, over the %d-byte budget",
+                n_words, required, self.config.memory_budget_bytes,
+            )
             raise ConfigurationError(
                 f"cell-array state for {n_words} words needs ~{required} bytes, "
                 f"over the {self.config.memory_budget_bytes}-byte budget; use "
                 "the statistical model for full-scale campaigns or raise "
                 "CellArrayConfig.memory_budget_bytes"
             )
+        logger.debug(
+            "initialising cell array: %d words (%d cells), ~%d bytes of state",
+            n_words, n_words * units.CODEWORD_BITS, required,
+        )
 
         # Per-cell state, bit-packed into (words, 2) uint64 lanes; only the
         # retention table stays float64-per-cell.  Sampling streams in
@@ -365,6 +380,7 @@ class CellArraySimulator:
         Encoding streams in ``block_words`` slabs straight into the
         packed codeword lanes.
         """
+        telemetry = get_telemetry()
         words = self._word_indices(locations)
         data = np.asarray(data_values)
         if data.shape != (words.size,):
@@ -375,12 +391,18 @@ class CellArraySimulator:
         # ConfigurationError before any state mutation), so the per-block
         # encode below can never fail halfway through the burst.
         validated = self._code._as_data_words(data)
-        for start, stop in self._blocks(words.size):
-            block = words[start:stop]
-            self.codewords[block] = self._code.encode_packed(validated[start:stop])
-            self._recharge(block)
-            self.word_written[block] = True
-        self._disturb_neighbour_rows(words)
+        with telemetry.span("cells.write_batch"):
+            blocks_streamed = 0
+            for start, stop in self._blocks(words.size):
+                block = words[start:stop]
+                self.codewords[block] = self._code.encode_packed(validated[start:stop])
+                self._recharge(block)
+                self.word_written[block] = True
+                blocks_streamed += 1
+            self._disturb_neighbour_rows(words)
+        if telemetry.enabled:
+            telemetry.incr("cells.words_written", int(words.size))
+            telemetry.incr("cells.blocks_streamed", blocks_streamed)
 
     def read_batch(
         self, locations: BatchLocations, workload: str = ""
@@ -404,41 +426,66 @@ class CellArraySimulator:
                 culprit = locations[int(unwritten[0])]
             raise SimulationError(f"read of unwritten location {culprit}")
 
+        telemetry = get_telemetry()
         error_codes = np.empty(words.size, dtype=np.uint8)
         corrected_bits = np.empty(words.size, dtype=np.int64)
         data_words = np.empty(words.size, dtype=np.uint64)
 
-        for start, stop in self._blocks(words.size):
-            block = words[start:stop]
-            self._record_exposure(block)
-            retention = self._effective_retention(block)
-            leaked = retention < self.max_exposure_s[block][:, None]
-            leak_lanes = pack_bits(leaked)
-            stored = self.codewords[block]
-            decayed = (stored & ~leak_lanes) | (self.discharge_value[block] & leak_lanes)
+        with telemetry.span("cells.read_batch"):
+            blocks_streamed = 0
+            scrubbed_words = 0
+            for start, stop in self._blocks(words.size):
+                block = words[start:stop]
+                self._record_exposure(block)
+                retention = self._effective_retention(block)
+                leaked = retention < self.max_exposure_s[block][:, None]
+                leak_lanes = pack_bits(leaked)
+                stored = self.codewords[block]
+                decayed = (stored & ~leak_lanes) | (self.discharge_value[block] & leak_lanes)
 
-            decode = self._code.decode_batch(decayed)
-            error_codes[start:stop] = decode.error_codes
-            corrected_bits[start:stop] = decode.corrected_bits
-            data_words[start:stop] = decode.data_words
+                decode = self._code.decode_batch(decayed)
+                error_codes[start:stop] = decode.error_codes
+                corrected_bits[start:stop] = decode.corrected_bits
+                data_words[start:stop] = decode.data_words
 
-            error_rows = np.flatnonzero(decode.error_codes != _NO_ERROR_CODE)
-            self._log_block_errors(
-                locations, block, start, error_rows, decode.error_codes, workload
-            )
-
-            # Scrub-on-read: corrected words are written back as valid
-            # codewords; multi-bit corruption persists (the data is lost
-            # until rewritten).  Clean words are already valid codewords,
-            # so re-encoding them would be a bit-for-bit no-op.
-            scrubbed = decode.error_codes == _CORRECTED_CODE
-            if scrubbed.any():
-                decayed[scrubbed] = self._code.encode_packed(
-                    decode.data_words[scrubbed]
+                error_rows = np.flatnonzero(decode.error_codes != _NO_ERROR_CODE)
+                self._log_block_errors(
+                    locations, block, start, error_rows, decode.error_codes, workload
                 )
-            self.codewords[block] = decayed
-            self._recharge(block)
-        self._disturb_neighbour_rows(words)
+
+                # Scrub-on-read: corrected words are written back as valid
+                # codewords; multi-bit corruption persists (the data is lost
+                # until rewritten).  Clean words are already valid codewords,
+                # so re-encoding them would be a bit-for-bit no-op.
+                scrubbed = decode.error_codes == _CORRECTED_CODE
+                if scrubbed.any():
+                    decayed[scrubbed] = self._code.encode_packed(
+                        decode.data_words[scrubbed]
+                    )
+                    scrubbed_words += int(scrubbed.sum())
+                self.codewords[block] = decayed
+                self._recharge(block)
+                blocks_streamed += 1
+            self._disturb_neighbour_rows(words)
+
+        if telemetry.enabled:
+            # Per-burst accounting, computed once from the collected codes so
+            # the streaming loop above stays untouched in no-op mode.
+            telemetry.incr("cells.words_read", int(words.size))
+            telemetry.incr("cells.blocks_streamed", blocks_streamed)
+            corrected = int((error_codes == _CORRECTED_CODE).sum())
+            uncorrectable = int((error_codes == _UNCORRECTABLE_CODE).sum())
+            silent = int((error_codes == _SILENT_CODE).sum())
+            if corrected:
+                telemetry.incr("cells.corrected", corrected)
+            if uncorrectable:
+                telemetry.incr("cells.uncorrectable", uncorrectable)
+            if silent:
+                telemetry.incr("cells.silent", silent)
+            if scrubbed_words:
+                telemetry.incr("cells.scrubbed", scrubbed_words)
+            telemetry.observe("cells.errors_per_burst",
+                              corrected + uncorrectable + silent)
 
         result_decode = BatchDecodeResult(
             data_words=data_words,

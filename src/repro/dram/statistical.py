@@ -48,6 +48,7 @@ from repro.dram.operating import OperatingPoint
 from repro.dram.retention import bit_failure_probability, bit_failure_probability_grid
 from repro.dram.variation import VariationProfile
 from repro.errors import ConfigurationError
+from repro.telemetry import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -330,23 +331,26 @@ class StatisticalErrorModel:
         to looping :meth:`sample_rank_wer`.  Without ``rngs``, fresh
         unseeded generators are used (``repetitions`` cells per point).
         """
-        ops = list(ops)
-        expected = self.expected_rank_wer_grid(ops, behavior, workload, p_ret=p_ret)
-        if rngs is None:
-            if repetitions <= 0:
-                raise ConfigurationError("repetitions must be positive")
-            rngs = [
-                [np.random.default_rng() for _ in range(repetitions)] for _ in ops
-            ]
-        grid = self._validated_rng_grid(rngs, len(ops))
-        num_reps = len(grid[0]) if grid else 0
-        num_ranks = expected.shape[1]
-        normals = np.empty((len(ops), num_reps, num_ranks), dtype=np.float64)
-        for p, row in enumerate(grid):
-            for k, generator in enumerate(row):
-                normals[p, k] = generator.standard_normal(num_ranks)
-        noise = np.exp(self.calibration.workload.run_to_run_sigma * normals)
-        return expected[:, None, :] * noise
+        telemetry = get_telemetry()
+        with telemetry.span("statistical.wer_grid"):
+            ops = list(ops)
+            expected = self.expected_rank_wer_grid(ops, behavior, workload, p_ret=p_ret)
+            if rngs is None:
+                if repetitions <= 0:
+                    raise ConfigurationError("repetitions must be positive")
+                rngs = [
+                    [np.random.default_rng() for _ in range(repetitions)] for _ in ops
+                ]
+            grid = self._validated_rng_grid(rngs, len(ops))
+            num_reps = len(grid[0]) if grid else 0
+            num_ranks = expected.shape[1]
+            normals = np.empty((len(ops), num_reps, num_ranks), dtype=np.float64)
+            for p, row in enumerate(grid):
+                for k, generator in enumerate(row):
+                    normals[p, k] = generator.standard_normal(num_ranks)
+            noise = np.exp(self.calibration.workload.run_to_run_sigma * normals)
+            telemetry.incr("statistical.wer_cells", len(ops) * num_reps * num_ranks)
+            return expected[:, None, :] * noise
 
     def probability_of_ue_grid(
         self,
@@ -389,31 +393,40 @@ class StatisticalErrorModel:
         fresh unseeded generators are used (``repetitions`` cells per
         point, mirroring :meth:`sample_rank_wer_grid`).
         """
-        ops = list(ops)
-        pue = self.probability_of_ue_grid(ops, behavior, workload, p_ret=p_ret)
-        if rngs is None:
-            if repetitions <= 0:
-                raise ConfigurationError("repetitions must be positive")
-            rngs = [
-                [np.random.default_rng() for _ in range(repetitions)] for _ in ops
-            ]
-        grid = self._validated_rng_grid(rngs, len(ops))
-        weights = self.variation.normalized_ue_weights()
-        ranks = list(weights.keys())
-        probabilities = np.array([weights[rank] for rank in ranks])
-        events: List[List[Optional[RankLocation]]] = []
-        pue_values = pue.tolist()
-        for p, row in enumerate(grid):
-            point_pue = pue_values[p]
-            outcomes: List[Optional[RankLocation]] = []
-            for generator in row:
-                if generator.random() >= point_pue:
-                    outcomes.append(None)
-                else:
-                    index = generator.choice(len(ranks), p=probabilities)
-                    outcomes.append(ranks[index])
-            events.append(outcomes)
-        return events
+        telemetry = get_telemetry()
+        with telemetry.span("statistical.ue_grid"):
+            ops = list(ops)
+            pue = self.probability_of_ue_grid(ops, behavior, workload, p_ret=p_ret)
+            if rngs is None:
+                if repetitions <= 0:
+                    raise ConfigurationError("repetitions must be positive")
+                rngs = [
+                    [np.random.default_rng() for _ in range(repetitions)] for _ in ops
+                ]
+            grid = self._validated_rng_grid(rngs, len(ops))
+            weights = self.variation.normalized_ue_weights()
+            ranks = list(weights.keys())
+            probabilities = np.array([weights[rank] for rank in ranks])
+            events: List[List[Optional[RankLocation]]] = []
+            pue_values = pue.tolist()
+            crashes = 0
+            for p, row in enumerate(grid):
+                point_pue = pue_values[p]
+                outcomes: List[Optional[RankLocation]] = []
+                for generator in row:
+                    if generator.random() >= point_pue:
+                        outcomes.append(None)
+                    else:
+                        index = generator.choice(len(ranks), p=probabilities)
+                        outcomes.append(ranks[index])
+                        crashes += 1
+                events.append(outcomes)
+            telemetry.incr(
+                "statistical.ue_cells", sum(len(row) for row in grid)
+            )
+            if crashes:
+                telemetry.incr("statistical.ue_crashes", crashes)
+            return events
 
     # ------------------------------------------------------------------
     # uncorrectable errors (PUE)

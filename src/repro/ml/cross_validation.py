@@ -14,6 +14,7 @@ from typing import Iterator, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, DataError
+from repro.telemetry import get_telemetry
 
 
 class LeaveOneGroupOut:
@@ -81,15 +82,19 @@ def cross_val_predict_groups(estimator, X, y, groups) -> np.ndarray:
     Every sample is predicted by a model that never saw any sample from the
     same group, exactly reproducing the paper's validation protocol.
     """
-    X_arr = np.asarray(X, dtype=float)
-    y_arr = np.asarray(y, dtype=float)
-    predictions = np.empty_like(y_arr)
-    splitter = LeaveOneGroupOut()
-    for train_idx, test_idx in splitter.split(X_arr, groups):
-        model = estimator.clone()
-        model.fit(X_arr[train_idx], y_arr[train_idx])
-        predictions[test_idx] = model.predict(X_arr[test_idx])
-    return predictions
+    telemetry = get_telemetry()
+    with telemetry.span("ml.cross_validation"):
+        X_arr = np.asarray(X, dtype=float)
+        y_arr = np.asarray(y, dtype=float)
+        predictions = np.empty_like(y_arr)
+        splitter = LeaveOneGroupOut()
+        for train_idx, test_idx in splitter.split(X_arr, groups):
+            with telemetry.span("ml.cv_fold"):
+                model = estimator.clone()
+                model.fit(X_arr[train_idx], y_arr[train_idx])
+                predictions[test_idx] = model.predict(X_arr[test_idx])
+                telemetry.incr("ml.cv_folds")
+        return predictions
 
 
 def group_scores(y_true, y_pred, groups, metric) -> List[Tuple[str, float]]:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.ml.base import ArrayLike, Regressor
+from repro.telemetry import get_telemetry
 
 
 class Pipeline(Regressor):
@@ -58,16 +59,25 @@ class Pipeline(Regressor):
         return np.asarray(data, dtype=float)
 
     def fit(self, X: ArrayLike, y: ArrayLike) -> "Pipeline":
-        data = X
-        for _name, step in self.steps[:-1]:
-            data = step.fit(data, y).transform(data)
-        self.steps[-1][1].fit(data, y)
-        self.fitted_ = True
-        return self
+        telemetry = get_telemetry()
+        with telemetry.span("ml.fit"):
+            data = X
+            for _name, step in self.steps[:-1]:
+                data = step.fit(data, y).transform(data)
+            self.steps[-1][1].fit(data, y)
+            if telemetry.enabled:
+                telemetry.incr("ml.fit_rows", int(np.shape(data)[0]))
+            self.fitted_ = True
+            return self
 
     def predict(self, X: ArrayLike) -> np.ndarray:
         self._check_fitted("fitted_")
-        return self.steps[-1][1].predict(self._transform(X))
+        telemetry = get_telemetry()
+        with telemetry.span("ml.predict"):
+            predictions = self.steps[-1][1].predict(self._transform(X))
+            if telemetry.enabled:
+                telemetry.incr("ml.predict_rows", int(np.shape(predictions)[0]))
+            return predictions
 
 
 def make_model_pipeline(model: Regressor, scaler: Optional[object] = None) -> Pipeline:

@@ -7,11 +7,14 @@ so every test can share them without re-running the simulation.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.characterization.campaign import CampaignConfig, CharacterizationCampaign
 from repro.core.dataset import build_pue_dataset, build_wer_dataset
 from repro.profiling.profiler import profile_workload
+from repro.telemetry import RunReport, telemetry_session
 
 #: A representative subset of the campaign benchmarks used by fast tests.
 SMALL_WORKLOAD_SET = (
@@ -42,7 +45,14 @@ def small_campaign(small_profiles):
         ue_repetitions=4,
     )
     campaign = CharacterizationCampaign(config=config, seed=11)
-    return campaign.run(include_ue_study=True)
+    # The fixture doubles as the tier-1 run report: set RUN_REPORT_JSON to
+    # capture the campaign's telemetry as a JSON artifact (CI uploads it).
+    with telemetry_session() as telemetry:
+        result = campaign.run(include_ue_study=True)
+    report_path = os.environ.get("RUN_REPORT_JSON")
+    if report_path:
+        RunReport.capture(telemetry).write_json(report_path)
+    return result
 
 
 @pytest.fixture(scope="session")
