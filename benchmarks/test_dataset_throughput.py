@@ -15,7 +15,6 @@ benchmarks pin their batch engines:
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core.dataset import build_pue_dataset, build_wer_dataset

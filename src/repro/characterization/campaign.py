@@ -468,7 +468,8 @@ class CharacterizationCampaign:
                     )
                     blocks.append(grid.wer_block())
         result.extend_wer_columns(blocks)
-        telemetry.incr("campaign.wer_rows", sum(len(b) for b in blocks))
+        if telemetry.enabled:
+            telemetry.incr("campaign.wer_rows", sum(len(b) for b in blocks))
         logger.info(
             "WER sweep finished: %d workloads in %.3fs",
             len(workloads), time.perf_counter() - start,
@@ -501,7 +502,8 @@ class CharacterizationCampaign:
                     blocks.append(grid.wer_block(first_repetition_only=True))
                     result.pue_summaries.extend(_grid_pue_summaries(grid))
         result.extend_wer_columns(blocks)
-        telemetry.incr("campaign.ue_rows", sum(len(b) for b in blocks))
+        if telemetry.enabled:
+            telemetry.incr("campaign.ue_rows", sum(len(b) for b in blocks))
         logger.info(
             "UE sweep finished: %d workloads in %.3fs",
             len(workloads), time.perf_counter() - start,
@@ -541,7 +543,8 @@ class CharacterizationCampaign:
             return
         telemetry = get_telemetry()
         workers = min(max_workers, len(specs))
-        telemetry.gauge("campaign.parallel_workers", workers)
+        if telemetry.enabled:
+            telemetry.gauge("campaign.parallel_workers", workers)
         logger.info(
             "parallel sweep starting: %d workloads over %d workers",
             len(specs), workers,
@@ -556,11 +559,13 @@ class CharacterizationCampaign:
             telemetry.merge_snapshot(outcome.telemetry)
         wer_blocks = [o.wer_block for o in outcomes if o.wer_block is not None]
         result.extend_wer_columns(wer_blocks)
-        telemetry.incr("campaign.wer_rows", sum(len(b) for b in wer_blocks))
+        if telemetry.enabled:
+            telemetry.incr("campaign.wer_rows", sum(len(b) for b in wer_blocks))
         if include_ue_study:
             ue_blocks = [o.ue_block for o in outcomes if o.ue_block is not None]
             result.extend_wer_columns(ue_blocks)
-            telemetry.incr("campaign.ue_rows", sum(len(b) for b in ue_blocks))
+            if telemetry.enabled:
+                telemetry.incr("campaign.ue_rows", sum(len(b) for b in ue_blocks))
             for outcome in outcomes:
                 result.pue_summaries.extend(outcome.pue_summaries)
         logger.info(

@@ -195,10 +195,11 @@ class CharacterizationExperiment:
             behavior = self._behavior(workload, profile)
             configured = [self.server.configure(op) for op in ops]
             model = self.server.error_model
-            telemetry.incr("experiment.grid_points", len(configured))
-            telemetry.incr(
-                "experiment.grid_cells", len(configured) * len(repetition_indices)
-            )
+            if telemetry.enabled:
+                telemetry.incr("experiment.grid_points", len(configured))
+                telemetry.incr(
+                    "experiment.grid_cells", len(configured) * len(repetition_indices)
+                )
             if not repetition_indices:
                 empty = np.zeros((len(configured), 0, self.server.geometry.num_ranks))
                 return configured, behavior, empty, [[] for _ in configured]

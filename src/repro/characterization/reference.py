@@ -13,7 +13,7 @@ this reference and the pinning suites (``tests/test_campaign_grid.py``,
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -22,9 +22,12 @@ from repro.dram.geometry import RankLocation
 from repro.dram.operating import OperatingPoint
 from repro.profiling.profile import WorkloadProfile
 
+if TYPE_CHECKING:  # circular at runtime: experiment.py imports this module
+    from repro.characterization.experiment import CharacterizationExperiment
+
 
 def reference_scalar_run(
-    experiment,
+    experiment: "CharacterizationExperiment",
     workload: str,
     op: OperatingPoint,
     profile: Optional[WorkloadProfile] = None,

@@ -12,7 +12,7 @@ model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -43,7 +43,7 @@ class ConventionalErrorModel:
             grouped.setdefault(_op_key(sample.operating_point), []).append(sample.target)
         if not grouped:
             raise DataError(
-                f"dataset has no samples of the reference micro-benchmark "
+                "dataset has no samples of the reference micro-benchmark "
                 f"{self.reference_workload!r}"
             )
         self._rates = {key: float(np.mean(values)) for key, values in grouped.items()}

@@ -25,7 +25,7 @@ columnar path must produce bit-identical ``(X, y, groups)`` matrices
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -210,7 +210,7 @@ class ErrorDataset:
             return len(self._samples)
         return len(self._columns)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Sample]:
         return iter(self.samples)
 
     def add(self, sample: Sample) -> None:

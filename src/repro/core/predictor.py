@@ -10,7 +10,7 @@ versus the hours or days a characterization campaign would take.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
 from repro.characterization.campaign import CampaignResult

@@ -372,7 +372,9 @@ class CellArraySimulator:
         )
 
     # -- memory operations ---------------------------------------------------
-    def write_batch(self, locations: BatchLocations, data_values) -> None:
+    def write_batch(
+        self, locations: BatchLocations, data_values: Union[np.ndarray, Sequence[int]]
+    ) -> None:
         """Store one 64-bit value per location in a single burst.
 
         Writing recharges each word and resets its history, then the

@@ -194,7 +194,7 @@ def unpack_codewords(lanes: np.ndarray) -> np.ndarray:
     arr = np.asarray(lanes)
     if arr.ndim != 2 or arr.shape[1] != 2 or arr.dtype != np.uint64:
         raise ConfigurationError(
-            f"packed codewords must be an (N, 2) uint64 array, got shape "
+            "packed codewords must be an (N, 2) uint64 array, got shape "
             f"{arr.shape} dtype {arr.dtype}"
         )
     as_bytes = np.ascontiguousarray(arr.astype("<u8", copy=False)).view(np.uint8)
@@ -594,7 +594,9 @@ class SecdedCode:
         result = self.decode(codeword)
         return self._bits_to_int(result.data), result.error_class
 
-    def roundtrip_with_errors(self, data: int, flip_positions) -> Tuple[int, ErrorClass]:
+    def roundtrip_with_errors(
+        self, data: int, flip_positions: Iterable[int]
+    ) -> Tuple[int, ErrorClass]:
         """Encode, flip the given codeword bit positions, decode.
 
         Convenience used heavily in tests: returns (decoded data, class).

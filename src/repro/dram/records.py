@@ -19,8 +19,8 @@ the columns.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -92,7 +92,7 @@ class ErrorLog:
     def __len__(self) -> int:
         return len(self._classes)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ErrorRecord]:
         return iter(self._all_records())
 
     def _all_records(self) -> List[ErrorRecord]:

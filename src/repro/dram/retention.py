@@ -10,7 +10,7 @@ statistical model used for full-scale campaigns.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 from scipy import stats
@@ -81,9 +81,9 @@ def bit_failure_probability(
 
 
 def bit_failure_probability_grid(
-    effective_refresh_s,
-    temperature_c,
-    vdd_v=1.5,
+    effective_refresh_s: Union[float, np.ndarray],
+    temperature_c: Union[float, np.ndarray],
+    vdd_v: Union[float, np.ndarray] = 1.5,
     calibration: Optional[RetentionCalibration] = None,
 ) -> np.ndarray:
     """Vectorized :func:`bit_failure_probability` over a grid of points.

@@ -304,7 +304,7 @@ class StatisticalErrorModel:
         grid = [list(row) for row in rngs]
         if len(grid) != num_points:
             raise ConfigurationError(
-                f"rngs must provide one row per operating point: expected "
+                "rngs must provide one row per operating point: expected "
                 f"{num_points} rows, got {len(grid)}"
             )
         if grid and any(len(row) != len(grid[0]) for row in grid):
@@ -349,7 +349,10 @@ class StatisticalErrorModel:
                 for k, generator in enumerate(row):
                     normals[p, k] = generator.standard_normal(num_ranks)
             noise = np.exp(self.calibration.workload.run_to_run_sigma * normals)
-            telemetry.incr("statistical.wer_cells", len(ops) * num_reps * num_ranks)
+            if telemetry.enabled:
+                telemetry.incr(
+                    "statistical.wer_cells", len(ops) * num_reps * num_ranks
+                )
             return expected[:, None, :] * noise
 
     def probability_of_ue_grid(
@@ -421,11 +424,12 @@ class StatisticalErrorModel:
                         outcomes.append(ranks[index])
                         crashes += 1
                 events.append(outcomes)
-            telemetry.incr(
-                "statistical.ue_cells", sum(len(row) for row in grid)
-            )
-            if crashes:
-                telemetry.incr("statistical.ue_crashes", crashes)
+            if telemetry.enabled:
+                telemetry.incr(
+                    "statistical.ue_cells", sum(len(row) for row in grid)
+                )
+                if crashes:
+                    telemetry.incr("statistical.ue_crashes", crashes)
             return events
 
     # ------------------------------------------------------------------

@@ -7,7 +7,7 @@ misses per cycle) and to decide which accesses actually reach DRAM.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.errors import ConfigurationError

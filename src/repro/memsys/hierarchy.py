@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
-from repro import units
 from repro.dram.geometry import DramGeometry, RankLocation
 from repro.errors import ConfigurationError
 from repro.memsys.access import MemoryAccess

@@ -9,7 +9,7 @@ correlated with WER.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro import units

@@ -104,7 +104,9 @@ class Regressor(Estimator):
         y_pred = self.predict(X)
         ss_res = float(np.sum((y_true - y_pred) ** 2))
         ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
-        if ss_tot == 0.0:
+        # A sum of squares is non-negative, so the ordered guard catches
+        # exactly the degenerate constant-target case without float ==.
+        if ss_tot <= 0.0:
             return 0.0 if ss_res > 0 else 1.0
         return 1.0 - ss_res / ss_tot
 

@@ -9,11 +9,12 @@ the group label is the workload name.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, DataError
+from repro.ml.base import ArrayLike, Regressor
 from repro.telemetry import get_telemetry
 
 
@@ -46,7 +47,10 @@ class LeaveOneGroupOut:
 class KFold:
     """Standard K-fold splitter with optional shuffling."""
 
-    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state=None) -> None:
+    def __init__(
+        self, n_splits: int = 5, shuffle: bool = False,
+        random_state: Optional[int] = None,
+    ) -> None:
         if n_splits < 2:
             raise ConfigurationError("n_splits must be >= 2")
         self.n_splits = n_splits
@@ -76,7 +80,9 @@ class KFold:
         return self.n_splits
 
 
-def cross_val_predict_groups(estimator, X, y, groups) -> np.ndarray:
+def cross_val_predict_groups(
+    estimator: Regressor, X: ArrayLike, y: ArrayLike, groups: Sequence
+) -> np.ndarray:
     """Out-of-fold predictions under leave-one-group-out CV.
 
     Every sample is predicted by a model that never saw any sample from the
@@ -93,11 +99,17 @@ def cross_val_predict_groups(estimator, X, y, groups) -> np.ndarray:
                 model = estimator.clone()
                 model.fit(X_arr[train_idx], y_arr[train_idx])
                 predictions[test_idx] = model.predict(X_arr[test_idx])
-                telemetry.incr("ml.cv_folds")
+                if telemetry.enabled:
+                    telemetry.incr("ml.cv_folds")
         return predictions
 
 
-def group_scores(y_true, y_pred, groups, metric) -> List[Tuple[str, float]]:
+def group_scores(
+    y_true: ArrayLike,
+    y_pred: ArrayLike,
+    groups: Sequence,
+    metric: Callable[[np.ndarray, np.ndarray], float],
+) -> List[Tuple[str, float]]:
     """Apply ``metric`` per group and return ``[(group, score), ...]``."""
     y_true = np.asarray(y_true, dtype=float)
     y_pred = np.asarray(y_pred, dtype=float)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -26,7 +26,7 @@ class RandomForestRegressor(Regressor):
         max_depth: Optional[int] = None,
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
-        max_features="sqrt",
+        max_features: Union[str, int, float, None] = "sqrt",
         bootstrap: bool = True,
         random_state: Optional[int] = None,
     ) -> None:

@@ -7,7 +7,7 @@ and ~4 % for PUE with input set 2.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -55,7 +55,9 @@ class KNeighborsRegressor(Regressor):
         self.y_train_ = y_arr
         return self
 
-    def kneighbors(self, X: ArrayLike, n_neighbors: Optional[int] = None):
+    def kneighbors(
+        self, X: ArrayLike, n_neighbors: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Return (distances, indices) of the nearest training samples."""
         self._check_fitted("X_train_")
         k = n_neighbors if n_neighbors is not None else self.n_neighbors
@@ -75,7 +77,7 @@ class KNeighborsRegressor(Regressor):
         # All-zero weight rows only occur with "distance" weights when every
         # neighbour is at infinite distance, which cannot happen with finite
         # inputs; guard anyway to avoid division warnings.
-        weight_sums[weight_sums == 0.0] = 1.0
+        weight_sums[weight_sums == 0.0] = 1.0  # repro-lint: disable=REP004
         return (w * neighbor_targets).sum(axis=1) / weight_sums
 
 

@@ -13,9 +13,10 @@ import numpy as np
 from scipy import stats
 
 from repro.errors import DataError
+from repro.ml.base import ArrayLike
 
 
-def _validate_pair(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
+def _validate_pair(y_true: ArrayLike, y_pred: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
     a = np.asarray(y_true, dtype=float).ravel()
     b = np.asarray(y_pred, dtype=float).ravel()
     if a.shape[0] != b.shape[0]:
@@ -25,19 +26,19 @@ def _validate_pair(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
     return a, b
 
 
-def mean_absolute_error(y_true, y_pred) -> float:
+def mean_absolute_error(y_true: ArrayLike, y_pred: ArrayLike) -> float:
     """Plain MAE."""
     a, b = _validate_pair(y_true, y_pred)
     return float(np.mean(np.abs(a - b)))
 
 
-def root_mean_squared_error(y_true, y_pred) -> float:
+def root_mean_squared_error(y_true: ArrayLike, y_pred: ArrayLike) -> float:
     """RMSE."""
     a, b = _validate_pair(y_true, y_pred)
     return float(np.sqrt(np.mean((a - b) ** 2)))
 
 
-def mean_percentage_error(y_true, y_pred, floor: float = 0.0) -> float:
+def mean_percentage_error(y_true: ArrayLike, y_pred: ArrayLike, floor: float = 0.0) -> float:
     """Mean absolute percentage error, in percent.
 
     This is the metric Fig. 11 and Fig. 12 report ("Error of WER est., %").
@@ -57,7 +58,7 @@ def mean_percentage_error(y_true, y_pred, floor: float = 0.0) -> float:
     return float(np.mean(result) * 100.0)
 
 
-def prediction_ratio(y_true, y_pred) -> float:
+def prediction_ratio(y_true: ArrayLike, y_pred: ArrayLike) -> float:
     """Mean multiplicative over/under-estimation factor (always >= 1).
 
     Used to express the conventional-model error as "2.9x" (Fig. 13):
@@ -71,17 +72,19 @@ def prediction_ratio(y_true, y_pred) -> float:
     return float(np.mean(ratio))
 
 
-def r2_score(y_true, y_pred) -> float:
+def r2_score(y_true: ArrayLike, y_pred: ArrayLike) -> float:
     """Coefficient of determination."""
     a, b = _validate_pair(y_true, y_pred)
     ss_res = float(np.sum((a - b) ** 2))
     ss_tot = float(np.sum((a - np.mean(a)) ** 2))
-    if ss_tot == 0.0:
+    # A sum of squares is non-negative, so the ordered guard catches
+    # exactly the degenerate constant-target case without float ==.
+    if ss_tot <= 0.0:
         return 0.0 if ss_res > 0 else 1.0
     return 1.0 - ss_res / ss_tot
 
 
-def spearman_correlation(x, y) -> float:
+def spearman_correlation(x: ArrayLike, y: ArrayLike) -> float:
     """Spearman's rank correlation coefficient ``rs``.
 
     Detects both linear and non-linear monotonic relationships, which is
@@ -97,7 +100,7 @@ def spearman_correlation(x, y) -> float:
     return float(rs)
 
 
-def pearson_correlation(x, y) -> float:
+def pearson_correlation(x: ArrayLike, y: ArrayLike) -> float:
     """Pearson's linear correlation coefficient."""
     a, b = _validate_pair(x, y)
     if np.all(a == a[0]) or np.all(b == b[0]):

@@ -8,7 +8,7 @@ and the paper's 249 program features span many orders of magnitude
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -88,7 +88,7 @@ class MinMaxScaler(Transformer):
         # the exact guard is sufficient.  A roundoff-scale *positive* range
         # is a real (tiny) spread and still maps cleanly into [0, 1] because
         # the numerator is bounded by the same range.
-        data_range[data_range == 0.0] = 1.0
+        data_range[data_range == 0.0] = 1.0  # repro-lint: disable=REP004
         self.range_ = data_range
         return self
 
@@ -114,7 +114,7 @@ class ColumnLogTransformer(Transformer):
     every feature comparable after standardisation.
     """
 
-    def __init__(self, columns, offset: float = 1e-12) -> None:
+    def __init__(self, columns: Iterable[int], offset: float = 1e-12) -> None:
         self.columns = list(columns)
         if offset <= 0:
             raise ValueError("offset must be positive")
@@ -144,7 +144,7 @@ class ColumnWeightTransformer(Transformer):
     meant to work.
     """
 
-    def __init__(self, weights) -> None:
+    def __init__(self, weights: ArrayLike) -> None:
         self.weights = np.asarray(weights, dtype=float)
         if self.weights.ndim != 1 or np.any(self.weights <= 0):
             raise ValueError("weights must be a 1-D array of positive values")

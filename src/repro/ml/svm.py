@@ -15,7 +15,7 @@ and numerically robust.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Union
 
 import numpy as np
 from scipy.optimize import minimize
@@ -63,7 +63,7 @@ class SVR(Regressor):
         kernel: str = "rbf",
         C: float = 10.0,
         epsilon: float = 0.01,
-        gamma="scale",
+        gamma: Union[str, float] = "scale",
         degree: int = 3,
         coef0: float = 1.0,
         max_iter: int = 500,

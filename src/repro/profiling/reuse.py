@@ -14,7 +14,7 @@ with the data set for these workloads).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from repro import units
 from repro.errors import DataError

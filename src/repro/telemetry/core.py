@@ -42,9 +42,11 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
-from typing import Dict, Iterator, Optional
+from types import TracebackType
+from typing import Dict, Iterator, Optional, Type, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.telemetry.snapshot import (
     HistogramSummary,
@@ -99,7 +101,12 @@ class _Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         elapsed = time.perf_counter() - self._start
         telemetry = self._telemetry
         telemetry._tls.node = self._parent
@@ -122,7 +129,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
@@ -146,7 +158,7 @@ class Telemetry:
         node = getattr(self._tls, "node", None)
         return node if node is not None else self._root
 
-    def span(self, name: str):
+    def span(self, name: str) -> Union["_Span", "_NullSpan"]:
         """Timed scope context manager; spans nest into the registry's tree."""
         if not self.enabled:
             return _NULL_SPAN
@@ -181,7 +193,7 @@ class Telemetry:
             else:
                 self._histograms[name] = summary.including(value)
 
-    def observe_array(self, name: str, values) -> None:
+    def observe_array(self, name: str, values: npt.ArrayLike) -> None:
         """Fold a whole array of values into the named histogram summary."""
         if not self.enabled:
             return

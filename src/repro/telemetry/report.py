@@ -18,7 +18,7 @@ import platform
 import subprocess
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.telemetry.core import Telemetry, get_telemetry
 from repro.telemetry.snapshot import SpanSnapshot, TelemetrySnapshot
@@ -113,7 +113,7 @@ class RunReport:
         return "\n".join(lines)
 
     @staticmethod
-    def _render_span(span: SpanSnapshot, depth: int, lines) -> None:
+    def _render_span(span: SpanSnapshot, depth: int, lines: List[str]) -> None:
         mean = span.total_s / span.count if span.count else 0.0
         lines.append(
             f"{'  ' * depth}{span.name}  x{span.count}  "
@@ -122,7 +122,7 @@ class RunReport:
         for child in span.children:
             RunReport._render_span(child, depth + 1, lines)
 
-    def to_json_dict(self) -> Dict:
+    def to_json_dict(self) -> Dict[str, Any]:
         """Stable-schema JSON document (see :data:`RUN_REPORT_SCHEMA`)."""
         snapshot = self.snapshot
         return {

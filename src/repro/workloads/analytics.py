@@ -36,7 +36,7 @@ class _GraphWorkload(Workload):
     suffix_parallel = False   #: always run with 8 threads under their plain name
 
     def __init__(self, threads: int = 1, seed: int = 23, nodes: int = 320,
-                 attach_edges: int = 3, **kwargs) -> None:
+                 attach_edges: int = 3, **kwargs: int) -> None:
         super().__init__(threads=threads, seed=seed, **kwargs)
         self.nodes = nodes
         self.attach_edges = attach_edges
@@ -67,7 +67,7 @@ class PagerankWorkload(_GraphWorkload):
     description = "Push-style PageRank power iterations over a scale-free graph"
 
     def __init__(self, threads: int = 8, iterations: int = 4, damping: float = 0.85,
-                 **kwargs) -> None:
+                 **kwargs: int) -> None:
         super().__init__(threads=threads, **kwargs)
         self.iterations = iterations
         self.damping = damping
@@ -110,7 +110,7 @@ class BfsWorkload(_GraphWorkload):
     name = "bfs"
     description = "Level-synchronous BFS over a scale-free graph"
 
-    def __init__(self, threads: int = 8, **kwargs) -> None:
+    def __init__(self, threads: int = 8, **kwargs: int) -> None:
         super().__init__(threads=threads, **kwargs)
 
     def run(self, recorder: TraceRecorder) -> None:
@@ -144,7 +144,7 @@ class BetweennessCentralityWorkload(_GraphWorkload):
     name = "bc"
     description = "Brandes BC accumulation from sampled sources"
 
-    def __init__(self, threads: int = 8, sources: int = 5, **kwargs) -> None:
+    def __init__(self, threads: int = 8, sources: int = 5, **kwargs: int) -> None:
         kwargs.setdefault("nodes", 220)
         super().__init__(threads=threads, **kwargs)
         self.sources = sources

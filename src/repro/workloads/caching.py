@@ -24,7 +24,7 @@ class MemcachedWorkload(Workload):
 
     def __init__(self, threads: int = 8, seed: int = 29, table_slots: int = 512,
                  keys: int = 300, requests: int = 6000, get_fraction: float = 0.9,
-                 zipf_exponent: float = 1.2, **kwargs) -> None:
+                 zipf_exponent: float = 1.2, **kwargs: int) -> None:
         super().__init__(threads=threads, seed=seed, **kwargs)
         self.table_slots = table_slots
         self.keys = keys
@@ -62,12 +62,14 @@ class MemcachedWorkload(Workload):
             slot = (key * 2654435761) % self.table_slots
             recorder.compute(6)   # hashing + request parsing
 
-            # Linear probing.
+            # Linear probing.  Slots hold integer keys (or the 0.0
+            # empty sentinel) stored verbatim — no arithmetic ever touches
+            # them, so exact float equality is the hash-table contract here.
             for probe in range(8):
                 probe_slot = (slot + probe) % self.table_slots
                 stored = table_keys.read(probe_slot, thread)
                 recorder.compute(2)
-                if stored == float(key):
+                if stored == float(key):  # repro-lint: disable=REP004
                     if is_get:
                         table_values.read(probe_slot, thread)
                         statistics.write(0, statistics.read(0, thread) + 1.0, thread)
@@ -75,7 +77,7 @@ class MemcachedWorkload(Workload):
                         table_values.write(probe_slot, float(key) * 3.0 + 1.0, thread)
                         statistics.write(1, statistics.read(1, thread) + 1.0, thread)
                     break
-                if stored == 0.0:
+                if stored == 0.0:  # repro-lint: disable=REP004
                     # Miss: insert the key (memcached stores on miss-then-set).
                     table_keys.write(probe_slot, float(key), thread)
                     table_values.write(probe_slot, float(key) * 3.0 + 1.0, thread)

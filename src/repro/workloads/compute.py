@@ -25,7 +25,7 @@ class BackpropWorkload(Workload):
 
     def __init__(self, threads: int = 1, seed: int = 7,
                  input_size: int = 12, hidden_size: int = 16,
-                 samples: int = 28, epochs: int = 2, **kwargs) -> None:
+                 samples: int = 28, epochs: int = 2, **kwargs: int) -> None:
         super().__init__(threads=threads, seed=seed, **kwargs)
         self.input_size = input_size
         self.hidden_size = hidden_size
@@ -90,7 +90,7 @@ class KmeansWorkload(Workload):
 
     def __init__(self, threads: int = 1, seed: int = 11,
                  points: int = 360, dims: int = 4, clusters: int = 5,
-                 iterations: int = 3, **kwargs) -> None:
+                 iterations: int = 3, **kwargs: int) -> None:
         super().__init__(threads=threads, seed=seed, **kwargs)
         self.points = points
         self.dims = dims
@@ -157,7 +157,7 @@ class NeedlemanWunschWorkload(Workload):
     description = "DP matrix fill for global sequence alignment"
 
     def __init__(self, threads: int = 1, seed: int = 13, length: int = 88,
-                 gap_penalty: float = 2.0, **kwargs) -> None:
+                 gap_penalty: float = 2.0, **kwargs: int) -> None:
         super().__init__(threads=threads, seed=seed, **kwargs)
         self.length = length
         self.gap_penalty = gap_penalty
@@ -215,7 +215,7 @@ class SradWorkload(Workload):
     description = "Iterative 4-point diffusion stencil over a 2-D image"
 
     def __init__(self, threads: int = 1, seed: int = 17, rows: int = 44,
-                 cols: int = 44, iterations: int = 3, lam: float = 0.5, **kwargs) -> None:
+                 cols: int = 44, iterations: int = 3, lam: float = 0.5, **kwargs: int) -> None:
         super().__init__(threads=threads, seed=seed, **kwargs)
         self.rows = rows
         self.cols = cols
@@ -263,7 +263,7 @@ class FmmWorkload(Workload):
     description = "Particle-particle near field plus particle-cell far field"
 
     def __init__(self, threads: int = 1, seed: int = 19, particles: int = 176,
-                 grid: int = 6, steps: int = 2, **kwargs) -> None:
+                 grid: int = 6, steps: int = 2, **kwargs: int) -> None:
         super().__init__(threads=threads, seed=seed, **kwargs)
         self.particles = particles
         self.grid = grid

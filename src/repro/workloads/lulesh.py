@@ -24,7 +24,7 @@ class LuleshWorkload(Workload):
     COMPUTE_PER_POINT = {"O2": 14, "F": 5}
 
     def __init__(self, threads: int = 8, seed: int = 37, edge: int = 9,
-                 steps: int = 4, optimization: str = "O2", **kwargs) -> None:
+                 steps: int = 4, optimization: str = "O2", **kwargs: int) -> None:
         super().__init__(threads=threads, seed=seed, **kwargs)
         if optimization not in self.COMPUTE_PER_POINT:
             raise ValueError(f"unknown optimization level {optimization!r}")

@@ -10,6 +10,8 @@ pattern variant is included for data-pattern ablations.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.workloads.base import TraceRecorder, Workload
@@ -24,7 +26,7 @@ class DataPatternWorkload(Workload):
 
     def __init__(self, threads: int = 1, seed: int = 31, words: int = 4096,
                  sweeps: int = 3, pattern: str = "random",
-                 idle_instructions: int = 400_000, **kwargs) -> None:
+                 idle_instructions: int = 400_000, **kwargs: int) -> None:
         super().__init__(threads=threads, seed=seed, **kwargs)
         if pattern not in ("random", "solid", "checkerboard"):
             raise ValueError(f"unknown pattern {pattern!r}")
@@ -63,13 +65,13 @@ class DataPatternWorkload(Workload):
                 recorder.compute(1)
 
 
-def random_data_pattern(**kwargs) -> DataPatternWorkload:
+def random_data_pattern(**kwargs: Any) -> DataPatternWorkload:
     """The random data-pattern micro-benchmark used in Fig. 2 / Fig. 13."""
     kwargs.setdefault("pattern", "random")
     return DataPatternWorkload(**kwargs)
 
 
-def solid_data_pattern(**kwargs) -> DataPatternWorkload:
+def solid_data_pattern(**kwargs: Any) -> DataPatternWorkload:
     """An all-zeros pattern: the least stressful data pattern."""
     kwargs.setdefault("pattern", "solid")
     return DataPatternWorkload(**kwargs)

@@ -1,0 +1,15 @@
+# repro-lint-fixture: path=src/repro/dram/fake_sampling.py
+# expect: REP001:6 REP001:7 REP001:11 REP001:15
+#
+# Legacy global-state RNG: the module seeds and draws from the shared
+# numpy global generator and imports the stdlib random module.
+import random
+from random import choice
+
+import numpy as np
+
+np.random.seed(1234)
+
+
+def draw(n: int) -> "np.ndarray":
+    return np.random.rand(n)

@@ -1,0 +1,16 @@
+# repro-lint-fixture: path=src/repro/characterization/fake_clock.py
+# expect: REP002:7 REP002:12 REP002:16
+#
+# Wall-clock reads in library code: results would depend on when the
+# run happens.
+import time
+from time import time as wall_time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def started_at() -> "datetime":
+    return datetime.now()

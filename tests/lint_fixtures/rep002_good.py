@@ -1,0 +1,13 @@
+# repro-lint-fixture: path=src/repro/characterization/fake_clock_ok.py
+#
+# The monotonic clock is fine anywhere: it orders events within a run
+# without tying results to the calendar.
+import time
+
+
+def elapsed(start: float) -> float:
+    return time.perf_counter() - start
+
+
+def tick() -> float:
+    return time.monotonic()

@@ -1,0 +1,9 @@
+# repro-lint-fixture: path=src/repro/telemetry/fake_report.py
+#
+# Inside telemetry/ the wall clock is allowed: run-report metadata is
+# the one place a real timestamp belongs.
+import time
+
+
+def report_timestamp() -> float:
+    return time.time()

@@ -1,0 +1,18 @@
+# repro-lint-fixture: path=src/repro/core/fake_pipeline.py
+# expect: REP003:12 REP003:18
+#
+# Ungated metric mutators: in disabled mode every call still builds its
+# arguments and enters the method before bailing out.
+from repro.telemetry import get_telemetry
+
+
+def run_fold(rows: int) -> int:
+    telemetry = get_telemetry()
+    with telemetry.span("fake.fold"):
+        telemetry.incr("fake.folds")
+    return rows
+
+
+def observe_rows(rows: int) -> None:
+    worker_telemetry = get_telemetry()
+    worker_telemetry.observe("fake.rows", float(rows))

@@ -1,0 +1,21 @@
+# repro-lint-fixture: path=src/repro/core/fake_pipeline_ok.py
+#
+# Gated mutators and self-gating span() calls: the disabled-mode cost
+# is one attribute check.
+from repro.telemetry import get_telemetry
+
+
+def run_fold(rows: int) -> int:
+    telemetry = get_telemetry()
+    with telemetry.span("fake.fold"):
+        result = rows * 2
+        if telemetry.enabled:
+            telemetry.incr("fake.folds")
+            telemetry.observe("fake.rows", float(rows))
+    return result
+
+
+def gauge_workers(workers: int) -> None:
+    telemetry = get_telemetry()
+    if workers > 1 and telemetry.enabled:
+        telemetry.gauge("fake.workers", workers)

@@ -1,0 +1,19 @@
+# repro-lint-fixture: path=src/repro/ml/fake_guard.py
+# expect: REP004:8 REP004:13 REP004:19
+#
+# Scalar float equality: one ulp of drift silently flips the branch.
+
+
+def is_zero(value: float) -> bool:
+    return value == 0.0
+
+
+def differs(value: float) -> bool:
+    # A != against a float literal is the same trap.
+    return value != 1.5
+
+
+def matches(stored: float, key: int) -> bool:
+    # Comparing against a float() conversion is still float equality,
+    # even in a chained comparison.
+    return 0.0 <= stored == float(key)

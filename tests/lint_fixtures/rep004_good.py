@@ -1,0 +1,17 @@
+# repro-lint-fixture: path=src/repro/ml/fake_guard_ok.py
+#
+# Ordered guards and np.array_equal express the same intent without
+# equality on floats; integer equality is untouched by the rule.
+import numpy as np
+
+
+def is_degenerate(ss_tot: float) -> bool:
+    return ss_tot <= 0.0
+
+
+def bit_identical(a: "np.ndarray", b: "np.ndarray") -> bool:
+    return bool(np.array_equal(a, b))
+
+
+def count_matches(code: int) -> bool:
+    return code == 3

@@ -1,0 +1,21 @@
+# repro-lint-fixture: path=tests/fake_helpers.py
+# expect: REP005:7 REP005:12 REP005:20
+#
+# Mutable defaults are shared across calls; bare except swallows
+# KeyboardInterrupt and SystemExit.  Both rules apply everywhere,
+# including test code.
+def collect(row, acc=[]):
+    acc.append(row)
+    return acc
+
+
+def merge(extra, base={"seed": 0}):
+    base.update(extra)
+    return base
+
+
+def safe_parse(text):
+    try:
+        return int(text)
+    except:
+        return None

@@ -1,0 +1,24 @@
+# repro-lint-fixture: path=tests/fake_helpers_ok.py
+#
+# None sentinels and narrow exception types.
+from typing import Dict, List, Optional
+
+
+def collect(row: int, acc: Optional[List[int]] = None) -> List[int]:
+    if acc is None:
+        acc = []
+    acc.append(row)
+    return acc
+
+
+def merge(extra: Dict[str, int], base: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+    merged = {"seed": 0} if base is None else dict(base)
+    merged.update(extra)
+    return merged
+
+
+def safe_parse(text: str) -> Optional[int]:
+    try:
+        return int(text)
+    except ValueError:
+        return None

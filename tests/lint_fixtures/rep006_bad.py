@@ -1,0 +1,22 @@
+# repro-lint-fixture: path=src/repro/analysis/fake_api.py
+# expect: REP006:6 REP006:6 REP006:11 REP006:20
+#
+# Public API without full annotations: callers cannot type-check
+# against it and mypy's strict gate has nothing to hold on to.
+def wer_from_counts(errors, words):
+    return errors / words
+
+
+# Missing the return annotation only.
+def scale(value: float, factor: float = 2.0):
+    return value * factor
+
+
+class FakeModel:
+    def __init__(self) -> None:
+        self.fitted = False
+
+    # Public method missing a parameter annotation.
+    def fit(self, X, y: "object") -> "FakeModel":
+        self.fitted = True
+        return self

@@ -1,0 +1,25 @@
+# repro-lint-fixture: path=src/repro/analysis/fake_api_ok.py
+#
+# Fully annotated public API; private helpers and nested closures are
+# exempt so internal code can stay light.
+def wer_from_counts(errors: int, words: int) -> float:
+    return errors / words
+
+
+def _internal_helper(value, factor):
+    return value * factor
+
+
+def make_adder(base: int) -> "object":
+    def add(value):
+        return base + value
+
+    return add
+
+
+class FakeModel:
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def fit(self, X: "object", y: "object") -> "FakeModel":
+        return self

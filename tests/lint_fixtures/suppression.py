@@ -1,0 +1,11 @@
+# repro-lint-fixture: path=src/repro/ml/fake_suppressed.py
+# expect: REP004:11
+#
+# Line 7 carries a disable comment for its rule, so only the bare
+# comparison on line 11 is reported.
+def exact_sentinel(value: float) -> bool:
+    return value == 0.0  # repro-lint: disable=REP004
+
+
+def unsuppressed(value: float) -> bool:
+    return value == 1.0

@@ -275,10 +275,11 @@ class TestMechanismCheck:
                                             calibration=calibration)
         dense = experiment.mechanism_check(op, num_words=2048,
                                            calibration=calibration)
-        total = lambda check: sum(
-            count for cls, count in check.counts.items()
-            if cls is not ErrorClass.NO_ERROR
-        )
+        def total(check):
+            return sum(
+                count for cls, count in check.counts.items()
+                if cls is not ErrorClass.NO_ERROR
+            )
         assert total(sparse) < 0.6 * total(dense)
 
     def test_mechanism_check_validates_arguments(self):

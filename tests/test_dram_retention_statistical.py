@@ -1,12 +1,10 @@
 """Tests for the retention physics, variation profile and statistical model."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro import units
-from repro.dram.calibration import DEFAULT_CALIBRATION
 from repro.dram.geometry import DramGeometry, RankLocation
 from repro.dram.operating import OperatingPoint
 from repro.dram.retention import (

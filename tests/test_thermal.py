@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.thermal.pid import PidController, PidGains
-from repro.thermal.testbed import HeaterPlant, ThermalChannel, ThermalTestbed, Thermocouple
+from repro.thermal.testbed import HeaterPlant, ThermalTestbed, Thermocouple
 
 
 class TestPidController:

@@ -1,0 +1,46 @@
+"""repro-lint: AST-based determinism & contract checks for this repository.
+
+The reproduction's core claim is that every WER/PUE number is bit-identical
+across scalar oracles, packed engines, block sizes and worker counts.  The
+invariants that make that true are conventions, not language features — all
+sampling flows through seeded ``Generator``s or crc32-keyed streams, library
+code never reads the wall clock, telemetry on hot paths is enabled-gated,
+and bit-identity is asserted with ``np.array_equal`` rather than float
+``==``.  This package machine-checks those conventions so they survive
+future refactors.
+
+Run it as::
+
+    python -m tools.repro_lint src tests benchmarks
+
+Suppress a finding on one line with a trailing comment::
+
+    data_range[data_range == 0.0] = 1.0  # repro-lint: disable=REP004
+
+See ``tools/repro_lint/README.md`` for the rule catalogue.
+"""
+
+from tools.repro_lint.engine import (
+    LintError,
+    LintResult,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from tools.repro_lint.report import json_report, text_report
+from tools.repro_lint.rules import RULES, Rule
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "LintError",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "Violation",
+    "json_report",
+    "lint_paths",
+    "lint_source",
+    "text_report",
+    "__version__",
+]

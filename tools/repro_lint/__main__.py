@@ -1,0 +1,70 @@
+"""CLI: ``python -m tools.repro_lint src tests benchmarks``.
+
+Exit codes: 0 clean, 1 violations found, 2 parse/usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from tools.repro_lint import __version__, lint_paths
+from tools.repro_lint.report import render_json, text_report
+from tools.repro_lint.rules import RULES
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in sorted(RULES.values(), key=lambda r: r.id):
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="AST-based determinism & contract checks for this repo.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format printed to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-output", metavar="FILE",
+        help="additionally write the JSON report to FILE",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument("--version", action="version", version=f"repro-lint {__version__}")
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try: src tests benchmarks)", file=sys.stderr)
+        return 2
+
+    try:
+        result = lint_paths(options.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if options.json_output:
+        with open(options.json_output, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result, options.paths) + "\n")
+    if options.format == "json":
+        print(render_json(result, options.paths))
+    else:
+        print(text_report(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

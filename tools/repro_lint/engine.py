@@ -1,0 +1,154 @@
+"""Linting engine: file walking, parent decoration, suppressions, results.
+
+The engine is deliberately independent of the rule set: it parses each
+file once, decorates every node with ``_repro_parent``, asks each
+registered rule whose scope matches the file to check the module, then
+filters out violations whose line carries a matching
+``# repro-lint: disable=REPxxx`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: rule id, file, 1-based line, 0-based column, message."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file the engine could not parse (reported, exit code 2)."""
+
+    path: str
+    line: int
+    message: str
+
+
+@dataclass
+class LintResult:
+    """Aggregated outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    errors: List[LintError] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.violations.extend(other.violations)
+        self.errors.extend(other.errors)
+        self.files_checked += other.files_checked
+        self.suppressed += other.suppressed
+
+
+def _suppressions(source: str) -> Dict[int, set]:
+    """Map line number -> set of rule ids disabled on that line.
+
+    Comments are found with the tokenize module, so a ``disable=`` string
+    inside a docstring or literal does not suppress anything.
+    """
+    table: Dict[int, set] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            table.setdefault(token.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        pass
+    return table
+
+
+def _decorate_parents(tree: ast.Module) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def _path_parts(path: str) -> Tuple[str, ...]:
+    return PurePosixPath(Path(path).as_posix()).parts
+
+
+def lint_source(source: str, path: str) -> LintResult:
+    """Lint one module's source, scoping rules by its (possibly virtual) path."""
+    from tools.repro_lint.rules import RULES
+
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.errors.append(LintError(path, exc.lineno or 0, exc.msg or "syntax error"))
+        return result
+    _decorate_parents(tree)
+    suppressed = _suppressions(source)
+    parts = _path_parts(path)
+    found: List[Violation] = []
+    for rule in RULES.values():
+        if rule.applies_to(parts):
+            found.extend(rule.check(tree, path))
+    for violation in sorted(found):
+        if violation.rule_id in suppressed.get(violation.line, ()):
+            result.suppressed += 1
+        else:
+            result.violations.append(violation)
+    return result
+
+
+# Directories skipped during directory walks.  ``lint_fixtures`` holds
+# deliberately-violating corpus files exercised by the linter's own tests;
+# they are still lintable when named as explicit file arguments.
+_SKIPPED_DIRS = {"__pycache__", "lint_fixtures"}
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py")
+                if not _SKIPPED_DIRS.intersection(p.parts)
+            )
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+
+
+def lint_paths(paths: Sequence[str]) -> LintResult:
+    """Lint every ``*.py`` file under the given files/directories."""
+    result = LintResult()
+    for file_path in _iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.errors.append(LintError(str(file_path), 0, str(exc)))
+            continue
+        result.extend(lint_source(source, str(file_path)))
+    result.violations.sort()
+    result.errors.sort(key=lambda e: (e.path, e.line))
+    return result

@@ -1,0 +1,78 @@
+"""Stable text and JSON renderings of a :class:`LintResult`.
+
+The JSON schema is versioned (``repro.lint_report/v1``) and its key order,
+sort order and field names are pinned by ``tests/test_repro_lint.py`` —
+CI uploads the report as an artifact, so downstream tooling may parse it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from tools.repro_lint.engine import LintResult
+
+REPORT_SCHEMA = "repro.lint_report/v1"
+
+
+def text_report(result: LintResult) -> str:
+    """One finding per line (``path:line:col: REPxxx message``) + a summary."""
+    lines: List[str] = []
+    for error in result.errors:
+        lines.append(f"{error.path}:{error.line}: PARSE-ERROR {error.message}")
+    for violation in result.violations:
+        lines.append(
+            f"{violation.path}:{violation.line}:{violation.col}: "
+            f"{violation.rule_id} {violation.message}"
+        )
+    noun = "violation" if len(result.violations) == 1 else "violations"
+    lines.append(
+        f"repro-lint: {len(result.violations)} {noun} "
+        f"({result.suppressed} suppressed) in {result.files_checked} files"
+    )
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult, paths: Sequence[str] = ()) -> Dict[str, Any]:
+    """The stable ``repro.lint_report/v1`` document as a plain dict."""
+    from tools.repro_lint import __version__
+    from tools.repro_lint.rules import RULES
+
+    counts: Dict[str, int] = {rule_id: 0 for rule_id in sorted(RULES)}
+    for violation in result.violations:
+        counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+    return {
+        "schema": REPORT_SCHEMA,
+        "tool": {"name": "repro-lint", "version": __version__},
+        "paths": list(paths),
+        "rules": [
+            {"id": rule.id, "title": rule.title} for rule in
+            sorted(RULES.values(), key=lambda r: r.id)
+        ],
+        "summary": {
+            "files_checked": result.files_checked,
+            "violations": len(result.violations),
+            "suppressed": result.suppressed,
+            "errors": len(result.errors),
+            "counts": counts,
+            "exit_code": result.exit_code,
+        },
+        "violations": [
+            {
+                "rule": v.rule_id,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+        "errors": [
+            {"path": e.path, "line": e.line, "message": e.message}
+            for e in result.errors
+        ],
+    }
+
+
+def render_json(result: LintResult, paths: Sequence[str] = ()) -> str:
+    return json.dumps(json_report(result, paths), indent=2, sort_keys=False)
