@@ -1,0 +1,106 @@
+"""Vectorized ML core: oracle equivalence and throughput floors.
+
+The flattened-tree forest and the ``argpartition`` neighbour search are
+the model-evaluation hot path of the accuracy study (Section VI): every
+leave-one-workload-out fold refits and re-predicts a model per feature
+set.  These benchmarks pin the vectorized estimators against the
+per-row oracles in ``repro.ml.reference`` the same way the ECC and
+dataset benchmarks pin their batch engines:
+
+* a leave-one-group-out KNN cross-validation over a campaign-shaped
+  design matrix (14 workload groups, ``INPUT_SET_1``-sized feature
+  rows) is at least 5x faster than the oracle estimator and produces
+  *bit-identical* out-of-fold predictions;
+* batched forest prediction over the flattened ensemble is at least 5x
+  faster than the per-tree/per-row node walk, also bit-identical.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.features import INPUT_SET_1
+from repro.ml.cross_validation import cross_val_predict_groups
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.reference import (
+    ReferenceKNeighborsRegressor,
+    reference_forest_predict,
+)
+
+pytestmark = pytest.mark.slow
+
+#: Leave-one-group-out CV shape: one group per campaign workload, with
+#: enough rows per group that the per-row oracle's Python loop (not the
+#: shared distance kernel) dominates its runtime.
+N_GROUPS = 14
+ROWS_PER_GROUP = 384
+
+
+def _campaign_shaped_regression(seed=7):
+    """Synthetic (X, y, groups) shaped like the WER design matrix."""
+    rng = np.random.default_rng(seed)
+    n_features = INPUT_SET_1.num_inputs
+    X = rng.normal(size=(N_GROUPS * ROWS_PER_GROUP, n_features))
+    y = rng.normal(size=X.shape[0])
+    groups = np.repeat(np.arange(N_GROUPS), ROWS_PER_GROUP)
+    return X, y, groups
+
+
+def test_knn_cv_at_least_5x_oracle(bench_report):
+    X, y, groups = _campaign_shaped_regression()
+    vectorized = KNeighborsRegressor(n_neighbors=5, weights="distance")
+    oracle = ReferenceKNeighborsRegressor(n_neighbors=5, weights="distance")
+
+    # Warm both paths (imports, BLAS thread pools) on a two-group slice.
+    warm = groups < 2
+    cross_val_predict_groups(vectorized, X[warm], y[warm], groups[warm])
+    cross_val_predict_groups(oracle, X[warm], y[warm], groups[warm])
+
+    pred_vec = cross_val_predict_groups(vectorized, X, y, groups)
+    pred_ref = cross_val_predict_groups(oracle, X, y, groups)
+    # Same neighbour sets, same weights, same reductions: bit-identical.
+    assert np.array_equal(pred_vec, pred_ref)
+
+    scalar_s = min(
+        _timed(lambda: cross_val_predict_groups(oracle, X, y, groups))
+        for _ in range(2)
+    )
+    batch_s = min(
+        _timed(lambda: cross_val_predict_groups(vectorized, X, y, groups))
+        for _ in range(5)
+    )
+    speedup = bench_report.record(
+        "ml_knn_cv", floor=5.0, scalar_s=scalar_s, batch_s=batch_s,
+        units_label="rows", work_items=X.shape[0],
+    )
+    assert speedup >= 5.0
+
+
+def test_forest_predict_at_least_5x_node_walk(bench_report):
+    X, y, _groups = _campaign_shaped_regression(seed=11)
+    forest = RandomForestRegressor(
+        n_estimators=20, max_depth=8, random_state=3
+    ).fit(X[:1500], y[:1500])
+    Xq = X[1500:]
+
+    pred_vec = forest.predict(Xq)
+    pred_ref = reference_forest_predict(forest, Xq)
+    assert np.array_equal(pred_vec, pred_ref)
+
+    scalar_s = min(
+        _timed(lambda: reference_forest_predict(forest, Xq)) for _ in range(3)
+    )
+    batch_s = min(_timed(lambda: forest.predict(Xq)) for _ in range(5))
+    speedup = bench_report.record(
+        "ml_forest_predict", floor=5.0, scalar_s=scalar_s, batch_s=batch_s,
+        units_label="rows", work_items=Xq.shape[0],
+    )
+    assert speedup >= 5.0
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -6,6 +6,20 @@ non-linear relationships) against the measured WER and PUE across the
 whole campaign.  The study identifies the memory access rate, wait
 cycles, ``HDP`` and ``Treuse`` as the features most related to DRAM
 error behaviour — the basis of input sets 1 and 2.
+
+The study is columnar end to end: operating points are dictionary-
+encoded into group codes (consuming :class:`~repro.core.dataset.
+ColumnarDataset` columns directly when the dataset has a columnar
+backing), per-(operating point, workload) target means are two
+``np.bincount`` reductions, and each group's Spearman coefficients for
+*all* features come from one ranked-matrix product instead of one
+scipy call per (feature, group) pair.  A zero-variance feature or
+constant per-group targets contribute a coefficient of exactly ``0.0``
+(no ranking information), matching :func:`~repro.ml.metrics.
+spearman_correlation`.  The pre-vectorized per-sample implementation
+survives as :func:`repro.core.reference.reference_run_correlation_study`
+and the two are pinned to a 1e-9 tolerance by ``tests/test_core.py``
+(reduction order differs, so agreement is tolerance- not bit-exact).
 """
 
 from __future__ import annotations
@@ -14,11 +28,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import stats
 
 from repro.core.dataset import ErrorDataset
 from repro.errors import DataError
-from repro.ml.metrics import spearman_correlation
 from repro.profiling.counters import all_feature_names
+from repro.telemetry import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -78,43 +93,102 @@ class CorrelationStudy:
         }
 
 
-def _grouped_samples(
+def _study_columns(
     dataset: ErrorDataset, feature_names: Sequence[str]
-) -> Dict[Tuple[float, float], Dict[str, Tuple[List[float], List[float]]]]:
-    """Group samples by operating point; average targets per workload.
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(program, workload_codes, group_codes, targets)`` for one dataset.
 
-    Returns ``{(trefp, temp): {workload: (feature_row, [targets])}}``.
-    Grouping by operating point isolates the *workload-dependent* component
-    of the error rate: WER varies by orders of magnitude with TREFP and
-    temperature, which would otherwise swamp the feature correlation.
+    ``program`` is the per-workload feature table in ``feature_names``
+    order (program features are constant per workload by construction, so
+    one row per workload code suffices); ``group_codes`` dictionary-encode
+    the ``(round(trefp, 6), round(temp, 2))`` operating-point key the
+    per-sample path grouped on.  Columnar-backed datasets contribute their
+    code tables directly; sample-backed datasets are encoded in one pass.
     """
-    groups: Dict[Tuple[float, float], Dict[str, Tuple[List[float], List[float]]]] = {}
-    for sample in dataset:
-        op_key = (round(sample.operating_point.trefp_s, 6),
-                  round(sample.operating_point.temperature_c, 2))
-        per_workload = groups.setdefault(op_key, {})
-        if sample.workload not in per_workload:
-            row = [sample.program_features[name] for name in feature_names]
-            per_workload[sample.workload] = (row, [])
-        per_workload[sample.workload][1].append(sample.target)
-    return groups
+    columns = dataset.columns()
+    if columns is not None:
+        workloads: Sequence[str] = columns.workloads
+        workload_codes = columns.workload_codes
+        operating = columns.operating_columns
+        targets = columns.targets
+        features_by_workload = columns.features_by_workload
+    else:
+        samples = dataset.samples
+        if not samples:
+            raise DataError("dataset is empty")
+        workloads = []
+        code_of: Dict[str, int] = {}
+        features_by_workload = {}
+        workload_codes = np.empty(len(samples), dtype=np.int64)
+        operating = np.empty((len(samples), 3), dtype=np.float64)
+        targets = np.empty(len(samples), dtype=np.float64)
+        for i, sample in enumerate(samples):
+            code = code_of.get(sample.workload)
+            if code is None:
+                code = code_of[sample.workload] = len(workloads)
+                workloads.append(sample.workload)
+                features_by_workload[sample.workload] = sample.program_features
+            workload_codes[i] = code
+            op = sample.operating_point
+            operating[i] = (op.trefp_s, op.vdd_v, op.temperature_c)
+            targets[i] = sample.target
+
+    program = np.array(
+        [[float(features_by_workload[w][name]) for name in feature_names]
+         for w in workloads],
+        dtype=np.float64,
+    )
+    op_key = np.column_stack(
+        (np.round(operating[:, 0], 6), np.round(operating[:, 2], 2))
+    )
+    _, group_codes = np.unique(op_key, axis=0, return_inverse=True)
+    return program, workload_codes, group_codes.reshape(-1), targets
 
 
-def _grouped_spearman(
-    groups: Dict[Tuple[float, float], Dict[str, Tuple[List[float], List[float]]]],
-    column: int,
-) -> float:
-    """Spearman coefficient of one feature, averaged over operating-point groups."""
+def _grouped_feature_spearman(
+    dataset: ErrorDataset, feature_names: Sequence[str]
+) -> np.ndarray:
+    """Per-feature Spearman coefficients, averaged over operating-point groups.
+
+    For every operating-point group with at least 3 workloads, the
+    coefficient vector over all features is one ranked-matrix product:
+    workload target means come from ``bincount`` sums/counts, features
+    and means are ranked columnwise (``scipy.stats.rankdata``, average
+    ties — exactly what ``spearmanr`` ranks with) and correlated via
+    centered dot products.  Zero-variance columns (or constant group
+    targets) yield 0.0.
+    """
+    program, workload_codes, group_codes, targets = _study_columns(
+        dataset, feature_names
+    )
+    n_workloads = program.shape[0]
+    n_groups = int(group_codes.max()) + 1 if group_codes.size else 0
+    pair = group_codes * n_workloads + workload_codes
+    counts = np.bincount(pair, minlength=n_groups * n_workloads)
+    sums = np.bincount(pair, weights=targets, minlength=n_groups * n_workloads)
+    mean_targets = np.zeros_like(sums)
+    np.divide(sums, counts, out=mean_targets, where=counts > 0)
+    present = counts.reshape(n_groups, n_workloads) > 0
+    mean_targets = mean_targets.reshape(n_groups, n_workloads)
+
     coefficients = []
-    for per_workload in groups.values():
-        if len(per_workload) < 3:
+    for group in range(n_groups):
+        mask = present[group]
+        if int(mask.sum()) < 3:
             continue
-        x = [row[column] for row, _targets in per_workload.values()]
-        y = [float(np.mean(targets)) for _row, targets in per_workload.values()]
-        coefficients.append(spearman_correlation(x, y))
+        feature_ranks = stats.rankdata(program[mask], axis=0)
+        target_ranks = stats.rankdata(mean_targets[group][mask])
+        centered_x = feature_ranks - feature_ranks.mean(axis=0)
+        centered_y = target_ranks - target_ranks.mean()
+        covariance = centered_x.T @ centered_y
+        norm_sq = (centered_x ** 2).sum(axis=0) * (centered_y ** 2).sum()
+        defined = norm_sq > 0.0
+        coefficients.append(
+            np.where(defined, covariance / np.sqrt(np.where(defined, norm_sq, 1.0)), 0.0)
+        )
     if not coefficients:
         raise DataError("not enough samples per operating point for a correlation study")
-    return float(np.mean(coefficients))
+    return np.mean(coefficients, axis=0)
 
 
 def run_correlation_study(
@@ -127,14 +201,22 @@ def run_correlation_study(
     The coefficient of a feature is the Spearman correlation between the
     feature and the per-workload error metric, computed within each
     operating point of the campaign and averaged across operating points.
+    All features are processed in one vectorized pass per dataset; a
+    feature with no ranking information (constant across a group's
+    workloads, or a group with constant mean targets) contributes 0.0
+    for that group rather than a NaN.
     """
-    names = list(feature_names) if feature_names is not None else all_feature_names()
-    wer_groups = _grouped_samples(wer_dataset, names)
-    pue_groups = _grouped_samples(pue_dataset, names)
-
-    points = []
-    for column, name in enumerate(names):
-        rs_wer = _grouped_spearman(wer_groups, column)
-        rs_pue = _grouped_spearman(pue_groups, column)
-        points.append(FeatureCorrelationPoint(feature=name, rs_wer=rs_wer, rs_pue=rs_pue))
-    return CorrelationStudy(points=points)
+    telemetry = get_telemetry()
+    with telemetry.span("core.correlation_study"):
+        names = list(feature_names) if feature_names is not None else all_feature_names()
+        rs_wer = _grouped_feature_spearman(wer_dataset, names)
+        rs_pue = _grouped_feature_spearman(pue_dataset, names)
+        points = [
+            FeatureCorrelationPoint(
+                feature=name, rs_wer=float(w), rs_pue=float(p)
+            )
+            for name, w, p in zip(names, rs_wer, rs_pue)
+        ]
+        if telemetry.enabled:
+            telemetry.incr("core.correlation_features", len(points))
+        return CorrelationStudy(points=points)

@@ -12,16 +12,30 @@ functions' ``(X, y, groups)`` output for the same campaign.  Any change
 to the dataset contract must update this reference and the pinning
 suites (``tests/test_columnar_dataset.py``,
 ``benchmarks/test_dataset_throughput.py``) together.
+
+:func:`reference_run_correlation_study` follows the same convention for
+the Fig. 10 feature-selection study: it is the pre-vectorized body of
+``run_correlation_study`` — one pass over the ``Sample`` objects per
+dataset and one :func:`~repro.ml.metrics.spearman_correlation` call per
+(feature, operating-point group) — pinned against the group-code path
+by ``tests/test_core.py`` to a documented 1e-9 tolerance (reduction
+order differs, so agreement is tolerance- rather than bit-exact).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # runtime import would be circular; see the lazy import below
+    from repro.core.correlation import CorrelationStudy
 
 from repro.characterization.campaign import CampaignResult
 from repro.core.dataset import ErrorDataset, Sample, _profiles_for
 from repro.dram.operating import OperatingPoint
 from repro.errors import DataError
+from repro.ml.metrics import spearman_correlation
 from repro.profiling.profile import WorkloadProfile
 
 
@@ -80,3 +94,63 @@ def reference_build_pue_dataset(
     if not dataset.samples:
         raise DataError("campaign contains no UE observations")
     return dataset
+
+
+def reference_grouped_samples(
+    dataset: ErrorDataset, feature_names: Sequence[str]
+) -> Dict[Tuple[float, float], Dict[str, Tuple[List[float], List[float]]]]:
+    """Group samples by operating point; average targets per workload.
+
+    Returns ``{(trefp, temp): {workload: (feature_row, [targets])}}``.
+    Grouping by operating point isolates the *workload-dependent* component
+    of the error rate: WER varies by orders of magnitude with TREFP and
+    temperature, which would otherwise swamp the feature correlation.
+    """
+    groups: Dict[Tuple[float, float], Dict[str, Tuple[List[float], List[float]]]] = {}
+    for sample in dataset:
+        op_key = (round(sample.operating_point.trefp_s, 6),
+                  round(sample.operating_point.temperature_c, 2))
+        per_workload = groups.setdefault(op_key, {})
+        if sample.workload not in per_workload:
+            row = [sample.program_features[name] for name in feature_names]
+            per_workload[sample.workload] = (row, [])
+        per_workload[sample.workload][1].append(sample.target)
+    return groups
+
+
+def reference_grouped_spearman(
+    groups: Dict[Tuple[float, float], Dict[str, Tuple[List[float], List[float]]]],
+    column: int,
+) -> float:
+    """Spearman coefficient of one feature, averaged over operating-point groups."""
+    coefficients = []
+    for per_workload in groups.values():
+        if len(per_workload) < 3:
+            continue
+        x = [row[column] for row, _targets in per_workload.values()]
+        y = [float(np.mean(targets)) for _row, targets in per_workload.values()]
+        coefficients.append(spearman_correlation(x, y))
+    if not coefficients:
+        raise DataError("not enough samples per operating point for a correlation study")
+    return float(np.mean(coefficients))
+
+
+def reference_run_correlation_study(
+    wer_dataset: ErrorDataset,
+    pue_dataset: ErrorDataset,
+    feature_names: Optional[Sequence[str]] = None,
+) -> "CorrelationStudy":
+    """Per-sample body of ``run_correlation_study`` (one scipy call per pair)."""
+    from repro.core.correlation import CorrelationStudy, FeatureCorrelationPoint
+    from repro.profiling.counters import all_feature_names
+
+    names = list(feature_names) if feature_names is not None else all_feature_names()
+    wer_groups = reference_grouped_samples(wer_dataset, names)
+    pue_groups = reference_grouped_samples(pue_dataset, names)
+
+    points = []
+    for column, name in enumerate(names):
+        rs_wer = reference_grouped_spearman(wer_groups, column)
+        rs_pue = reference_grouped_spearman(pue_groups, column)
+        points.append(FeatureCorrelationPoint(feature=name, rs_wer=rs_wer, rs_pue=rs_pue))
+    return CorrelationStudy(points=points)

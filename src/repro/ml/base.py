@@ -19,14 +19,19 @@ from repro.errors import DataError, NotFittedError
 ArrayLike = Any
 
 
-def as_2d_array(X: ArrayLike, name: str = "X") -> np.ndarray:
-    """Validate and convert ``X`` to a 2-D float array of samples x features."""
+def as_2d_array(X: ArrayLike, name: str = "X", allow_empty: bool = False) -> np.ndarray:
+    """Validate and convert ``X`` to a 2-D float array of samples x features.
+
+    ``allow_empty`` admits a well-formed ``(0, d)`` batch — prediction
+    paths accept empty query sets and return empty results, while ``fit``
+    keeps rejecting them.  A zero-feature shape is always an error.
+    """
     arr = np.asarray(X, dtype=float)
     if arr.ndim == 1:
         arr = arr.reshape(1, -1)
     if arr.ndim != 2:
         raise DataError(f"{name} must be 2-dimensional, got shape {arr.shape}")
-    if arr.shape[0] == 0 or arr.shape[1] == 0:
+    if (arr.shape[0] == 0 and not allow_empty) or arr.shape[1] == 0:
         raise DataError(f"{name} must not be empty, got shape {arr.shape}")
     if not np.all(np.isfinite(arr)):
         raise DataError(f"{name} contains NaN or infinite values")

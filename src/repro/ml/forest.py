@@ -1,4 +1,12 @@
-"""Random Decision Forest regression (RDF in the paper)."""
+"""Random Decision Forest regression (RDF in the paper).
+
+``fit`` still grows one CART tree per bootstrap resample, but the fitted
+ensemble is additionally stored as one set of concatenated flat-tree
+columns (per-tree node arrays from :mod:`repro.ml.tree` with child
+indices shifted by each tree's node offset), so ``predict`` traverses
+every (tree, row) pair level-synchronously in a single numpy state
+vector instead of looping trees in Python.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.ml.base import ArrayLike, Regressor, as_2d_array, validate_fit_args
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.tree import DecisionTreeRegressor, flat_tree_predict
 
 
 class RandomForestRegressor(Regressor):
@@ -61,10 +69,35 @@ class RandomForestRegressor(Regressor):
                 indices = np.arange(n_samples)
             tree.fit(X_arr[indices], y_arr[indices])
             self.estimators_.append(tree)
+        self._flatten_ensemble()
         return self
+
+    def _flatten_ensemble(self) -> None:
+        """Concatenate per-tree flat arrays; child ids become absolute."""
+        node_counts = np.array([t.feature_.shape[0] for t in self.estimators_])
+        self._roots_ = np.concatenate(([0], np.cumsum(node_counts)[:-1]))
+        offsets = np.repeat(self._roots_, node_counts)
+        self._feature_ = np.concatenate([t.feature_ for t in self.estimators_])
+        self._threshold_ = np.concatenate([t.threshold_ for t in self.estimators_])
+        self._value_ = np.concatenate([t.value_ for t in self.estimators_])
+        left = np.concatenate([t.children_left_ for t in self.estimators_])
+        right = np.concatenate([t.children_right_ for t in self.estimators_])
+        # Leaves keep their -1 sentinel children (never dereferenced).
+        internal = self._feature_ >= 0
+        self._left_ = np.where(internal, left + offsets, -1)
+        self._right_ = np.where(internal, right + offsets, -1)
 
     def predict(self, X: ArrayLike) -> np.ndarray:
         self._check_fitted("estimators_")
-        X_arr = as_2d_array(X)
-        predictions = np.stack([tree.predict(X_arr) for tree in self.estimators_])
-        return predictions.mean(axis=0)
+        X_arr = as_2d_array(X, allow_empty=True)
+        n_rows = X_arr.shape[0]
+        n_trees = len(self.estimators_)
+        # One flat traversal state per (tree, row) pair: entry t*n_rows + i
+        # walks tree t for query row i, all advancing one level per pass.
+        node_ids = np.repeat(self._roots_, n_rows)
+        row_ids = np.tile(np.arange(n_rows), n_trees)
+        leaf_values = flat_tree_predict(
+            self._feature_, self._threshold_, self._left_, self._right_,
+            self._value_, X_arr, node_ids=node_ids, row_ids=row_ids,
+        )
+        return leaf_values.reshape(n_trees, n_rows).mean(axis=0)

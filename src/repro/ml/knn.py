@@ -3,6 +3,15 @@
 KNN is the model that achieves the best accuracy in the paper
 (Section VI.B): ~10 % mean percentage error for WER with input set 1
 and ~4 % for PUE with input set 2.
+
+Neighbour search is fully deterministic: the k nearest training rows
+are the k smallest under the lexicographic ``(distance, training
+index)`` order, so equidistant neighbours always resolve to the
+lowest-index rows regardless of platform or numpy version.  The hot
+path uses ``np.argpartition`` (O(n) selection) plus a stable in-
+candidate sort; rows whose k-th distance ties with excluded training
+rows — the one case where the partition's pick is arbitrary — fall
+back to a full per-row stable sort.
 """
 
 from __future__ import annotations
@@ -14,6 +23,44 @@ import numpy as np
 from repro.errors import ConfigurationError, DataError
 from repro.ml.base import ArrayLike, Regressor, as_2d_array, validate_fit_args
 from repro.ml.distances import pairwise_distances
+
+
+def stable_kneighbors(dist: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """k smallest entries per row of a distance matrix, ties broken by index.
+
+    Returns ``(distances, indices)``, each of shape ``(n_rows, k)``,
+    ordered by ``(distance, column index)`` within every row — the unique
+    deterministic neighbour ordering.  Selection is ``argpartition``-based;
+    a row falls back to a full stable sort only when its k-th distance
+    also occurs beyond the candidate set (boundary tie), where the
+    partition's choice between tied columns is otherwise arbitrary.
+    """
+    n_rows, n_train = dist.shape
+    if k >= n_train or n_rows == 0:
+        # Stable argsort already breaks distance ties by column index.
+        idx = np.argsort(dist, axis=1, kind="stable")[:, :k]
+        return np.take_along_axis(dist, idx, axis=1), idx
+
+    candidates = np.argpartition(dist, k - 1, axis=1)[:, :k]
+    cand_dist = np.take_along_axis(dist, candidates, axis=1)
+    order = np.lexsort((candidates, cand_dist), axis=1)
+    idx = np.take_along_axis(candidates, order, axis=1)
+    nearest = np.take_along_axis(cand_dist, order, axis=1)
+
+    # Boundary ties: the partition guarantees the k smallest *values*, but
+    # when the k-th value also occurs outside the candidate set the choice
+    # of which tied columns were kept is arbitrary.  Re-select those rows
+    # with a full (distance, index) sort.  Exact float comparison is the
+    # point here: only bit-equal distances are ambiguous.
+    kth = nearest[:, -1][:, None]
+    ties_total = (dist == kth).sum(axis=1)  # repro-lint: disable=REP004
+    ties_kept = (nearest == kth).sum(axis=1)  # repro-lint: disable=REP004
+    train_index = np.arange(n_train)
+    for row in np.nonzero(ties_total > ties_kept)[0]:
+        full = np.lexsort((train_index, dist[row]))[:k]
+        idx[row] = full
+        nearest[row] = dist[row, full]
+    return nearest, idx
 
 
 def _neighbor_weights(distances: np.ndarray, weights: str) -> np.ndarray:
@@ -58,15 +105,16 @@ class KNeighborsRegressor(Regressor):
     def kneighbors(
         self, X: ArrayLike, n_neighbors: Optional[int] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Return (distances, indices) of the nearest training samples."""
+        """Return (distances, indices) of the nearest training samples.
+
+        An empty ``(0, d)`` query batch yields ``(0, k)`` results.
+        """
         self._check_fitted("X_train_")
         k = n_neighbors if n_neighbors is not None else self.n_neighbors
         k = min(k, self.X_train_.shape[0])
-        X_arr = as_2d_array(X)
+        X_arr = as_2d_array(X, allow_empty=True)
         dist = pairwise_distances(X_arr, self.X_train_, metric=self.metric)
-        idx = np.argsort(dist, axis=1)[:, :k]
-        rows = np.arange(dist.shape[0])[:, None]
-        return dist[rows, idx], idx
+        return stable_kneighbors(dist, k)
 
     def predict(self, X: ArrayLike) -> np.ndarray:
         self._check_fitted("X_train_")
@@ -108,15 +156,14 @@ class KNeighborsClassifier(Regressor):
 
     def predict(self, X: ArrayLike) -> np.ndarray:
         self._check_fitted("X_train_")
-        X_arr = as_2d_array(X)
+        X_arr = as_2d_array(X, allow_empty=True)
         k = min(self.n_neighbors, self.X_train_.shape[0])
         dist = pairwise_distances(X_arr, self.X_train_, metric=self.metric)
-        idx = np.argsort(dist, axis=1)[:, :k]
-        rows = np.arange(dist.shape[0])[:, None]
-        w = _neighbor_weights(dist[rows, idx], self.weights)
+        nearest, idx = stable_kneighbors(dist, k)
+        w = _neighbor_weights(nearest, self.weights)
         votes = np.zeros((X_arr.shape[0], self.classes_.shape[0]))
-        for class_index in range(self.classes_.shape[0]):
-            votes[:, class_index] = np.where(
-                self.y_train_[idx] == class_index, w, 0.0
-            ).sum(axis=1)
+        rows = np.repeat(np.arange(X_arr.shape[0]), k)
+        np.add.at(votes, (rows, self.y_train_[idx].ravel()), w.ravel())
+        # argmax resolves vote ties to the smallest class index — the
+        # classes_ table is sorted, so ties go to the smallest label.
         return self.classes_[np.argmax(votes, axis=1)]

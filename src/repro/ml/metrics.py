@@ -88,8 +88,14 @@ def spearman_correlation(x: ArrayLike, y: ArrayLike) -> float:
     """Spearman's rank correlation coefficient ``rs``.
 
     Detects both linear and non-linear monotonic relationships, which is
-    why the paper uses it for feature selection (Section VI.A).  Returns
-    0.0 when either input is constant (no ranking information).
+    why the paper uses it for feature selection (Section VI.A).
+
+    **Zero-variance contract:** a constant ``x`` or constant ``y`` carries
+    no ranking information, so the coefficient is defined as exactly
+    ``0.0`` — never NaN (scipy's ``spearmanr`` would return NaN, which
+    silently poisons any downstream mean, e.g. the per-operating-point
+    averaging in ``run_correlation_study``).  The vectorized study path
+    (``repro.core.correlation``) implements the same contract.
     """
     a, b = _validate_pair(x, y)
     if np.all(a == a[0]) or np.all(b == b[0]):

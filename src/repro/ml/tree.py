@@ -4,12 +4,24 @@ The trees are the building block of the Random Decision Forest model
 (RDF in the paper).  Splitting criterion is variance reduction (MSE);
 the implementation supports feature sub-sampling at every split so the
 forest can decorrelate its members.
+
+Fitted trees are stored twice: as the linked :class:`_Node` structure
+the recursive builder produces (kept as the per-row prediction oracle,
+see :mod:`repro.ml.reference`) and as a **flattened columnar layout** —
+parallel ``feature_``/``threshold_``/``children_left_``/
+``children_right_``/``value_`` arrays indexed by node id, root at 0,
+children appended in breadth-first order, ``feature_ == -1`` marking
+leaves.  ``predict`` traverses the flat arrays level-synchronously: all
+query rows step one tree level per numpy operation instead of one
+Python node-walk per row, and :class:`~repro.ml.forest.
+RandomForestRegressor` concatenates the per-tree arrays (child indices
+shifted by node offsets) to batch the whole ensemble the same way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +42,80 @@ class _Node:
     @property
     def is_leaf(self) -> bool:
         return self.left is None
+
+
+def _flatten_tree(root: _Node) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Breadth-first columnar layout of a fitted tree.
+
+    Returns ``(feature, threshold, left, right, value)`` arrays indexed
+    by node id; the root is node 0 and ``feature == -1`` marks leaves
+    (their ``left``/``right`` entries are ``-1`` and never dereferenced).
+    """
+    nodes = [root]
+    feature = []
+    threshold = []
+    left = []
+    right = []
+    value = []
+    cursor = 0
+    while cursor < len(nodes):
+        node = nodes[cursor]
+        cursor += 1
+        value.append(node.prediction)
+        if node.is_leaf:
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+        else:
+            feature.append(node.feature)
+            threshold.append(node.threshold)
+            left.append(len(nodes))
+            nodes.append(node.left)
+            right.append(len(nodes))
+            nodes.append(node.right)
+    return (
+        np.asarray(feature, dtype=np.int64),
+        np.asarray(threshold, dtype=np.float64),
+        np.asarray(left, dtype=np.int64),
+        np.asarray(right, dtype=np.int64),
+        np.asarray(value, dtype=np.float64),
+    )
+
+
+def flat_tree_predict(
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    value: np.ndarray,
+    X: np.ndarray,
+    node_ids: Optional[np.ndarray] = None,
+    row_ids: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Level-synchronous traversal of one (or many concatenated) flat trees.
+
+    ``node_ids``/``row_ids`` generalize the traversal to a forest: entry
+    ``i`` starts at node ``node_ids[i]`` and reads feature values from
+    ``X[row_ids[i]]``.  When omitted, every row of ``X`` starts at the
+    root of a single tree (node 0).  Each loop iteration advances every
+    still-internal entry by exactly one level, so the number of numpy
+    passes is the tree depth, not the row count.
+    """
+    if node_ids is None:
+        state = np.zeros(X.shape[0], dtype=np.int64)
+    else:
+        state = np.array(node_ids, dtype=np.int64)
+    rows = np.arange(state.shape[0]) if row_ids is None else np.asarray(row_ids)
+
+    active = np.nonzero(feature[state] >= 0)[0]
+    while active.size:
+        node = state[active]
+        split_feature = feature[node]
+        go_left = X[rows[active], split_feature] <= threshold[node]
+        state[active] = np.where(go_left, left[node], right[node])
+        active = active[feature[state[active]] >= 0]
+    return value[state]
 
 
 def _best_split(
@@ -161,22 +247,26 @@ class DecisionTreeRegressor(Regressor):
         rng = np.random.default_rng(self.random_state)
         self.n_features_ = X_arr.shape[1]
         self.root_ = self._build(X_arr, y_arr, depth=0, rng=rng)
+        (
+            self.feature_,
+            self.threshold_,
+            self.children_left_,
+            self.children_right_,
+            self.value_,
+        ) = _flatten_tree(self.root_)
         return self
-
-    def _predict_one(self, x: np.ndarray) -> float:
-        node = self.root_
-        while not node.is_leaf:
-            node = node.left if x[node.feature] <= node.threshold else node.right
-        return node.prediction
 
     def predict(self, X: ArrayLike) -> np.ndarray:
         self._check_fitted("root_")
-        X_arr = as_2d_array(X)
+        X_arr = as_2d_array(X, allow_empty=True)
         if X_arr.shape[1] != self.n_features_:
             raise ValueError(
                 f"X has {X_arr.shape[1]} features, tree was fitted with {self.n_features_}"
             )
-        return np.array([self._predict_one(row) for row in X_arr])
+        return flat_tree_predict(
+            self.feature_, self.threshold_, self.children_left_,
+            self.children_right_, self.value_, X_arr,
+        )
 
     def depth(self) -> int:
         """Maximum depth of the fitted tree (0 for a single leaf)."""
@@ -192,10 +282,4 @@ class DecisionTreeRegressor(Regressor):
     def node_count(self) -> int:
         """Total number of nodes (internal + leaves) in the fitted tree."""
         self._check_fitted("root_")
-
-        def walk(node: _Node) -> int:
-            if node.is_leaf:
-                return 1
-            return 1 + walk(node.left) + walk(node.right)
-
-        return walk(self.root_)
+        return int(self.feature_.shape[0])

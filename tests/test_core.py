@@ -206,6 +206,64 @@ class TestCorrelationStudy:
         with pytest.raises(DataError):
             study.rs_wer("ipc")
 
+    def test_constant_feature_correlates_to_exactly_zero(self):
+        # Zero-variance contract: a feature that never varies across
+        # workloads has no ranking information, so its coefficient must be
+        # exactly 0.0 — not a NaN that would silently poison the study mean.
+        from repro.core.dataset import ErrorDataset, Sample
+
+        rng = np.random.default_rng(3)
+        workloads = [f"w{i}" for i in range(4)]
+        features = {
+            w: {"f_const": 7.5, "f_varying": float(i)}
+            for i, w in enumerate(workloads)
+        }
+
+        def build(seed):
+            dataset = ErrorDataset()
+            r = np.random.default_rng(seed)
+            for trefp in (1.173, 2.283):
+                for workload in workloads:
+                    dataset.add(Sample(
+                        workload=workload,
+                        operating_point=OperatingPoint(
+                            trefp_s=trefp, vdd_v=1.45, temperature_c=50.0
+                        ),
+                        target=float(abs(r.normal()) + 0.1),
+                        program_features=features[workload],
+                    ))
+            return dataset
+
+        study = run_correlation_study(
+            build(1), build(2), feature_names=["f_const", "f_varying"]
+        )
+        assert study.rs_wer("f_const") == 0.0
+        assert study.rs_pue("f_const") == 0.0
+        assert -1.0 <= study.rs_wer("f_varying") <= 1.0
+        del rng
+
+    def test_constant_targets_within_groups_yield_zero_not_nan(self):
+        # Constant per-group targets are the other zero-variance direction.
+        from repro.core.dataset import ErrorDataset, Sample
+
+        def build():
+            dataset = ErrorDataset()
+            for trefp in (1.173, 2.283):
+                for i in range(4):
+                    dataset.add(Sample(
+                        workload=f"w{i}",
+                        operating_point=OperatingPoint(
+                            trefp_s=trefp, vdd_v=1.45, temperature_c=50.0
+                        ),
+                        target=0.25,
+                        program_features={"f": float(i)},
+                    ))
+            return dataset
+
+        study = run_correlation_study(build(), build(), feature_names=["f"])
+        assert study.rs_wer("f") == 0.0
+        assert not np.isnan(study.rs_wer("f"))
+
 
 class TestConventionalModel:
     def test_requires_reference_workload(self, small_wer_dataset):

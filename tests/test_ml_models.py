@@ -153,6 +153,46 @@ class TestDecisionTree:
         assert model.score(X[250:], y[250:]) > 0.6
 
 
+class TestSplitFeatureCount:
+    def test_float_one_uses_all_features(self):
+        assert DecisionTreeRegressor(max_features=1.0)._n_split_features(8) == 8
+
+    def test_small_float_clamps_to_one(self):
+        assert DecisionTreeRegressor(max_features=0.01)._n_split_features(8) == 1
+
+    def test_sqrt_and_log2_on_single_feature(self):
+        assert DecisionTreeRegressor(max_features="sqrt")._n_split_features(1) == 1
+        assert DecisionTreeRegressor(max_features="log2")._n_split_features(1) == 1
+
+    def test_integer_larger_than_feature_count_is_clamped(self):
+        assert DecisionTreeRegressor(max_features=100)._n_split_features(8) == 8
+
+    def test_unknown_string_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor(max_features="cube")._n_split_features(8)
+
+    def test_none_uses_all_features(self):
+        assert DecisionTreeRegressor()._n_split_features(5) == 5
+
+
+class TestEmptyQueries:
+    def test_kneighbors_with_zero_rows(self):
+        model = KNeighborsRegressor(n_neighbors=2).fit([[0.0], [1.0], [2.0]], [1.0, 2.0, 3.0])
+        dist, idx = model.kneighbors(np.empty((0, 1)))
+        assert dist.shape == (0, 2)
+        assert idx.shape == (0, 2)
+
+    def test_predict_with_zero_rows(self):
+        model = KNeighborsRegressor(n_neighbors=2).fit([[0.0], [1.0], [2.0]], [1.0, 2.0, 3.0])
+        assert model.predict(np.empty((0, 1))).shape == (0,)
+        classifier = KNeighborsClassifier(n_neighbors=2).fit([[0.0], [1.0]], ["a", "b"])
+        assert classifier.predict(np.empty((0, 1))).shape == (0,)
+
+    def test_fit_still_rejects_empty(self):
+        with pytest.raises(DataError):
+            KNeighborsRegressor().fit(np.empty((0, 2)), [])
+
+
 class TestRandomForest:
     def test_forest_beats_single_deep_tree_on_noise(self):
         X, y = _toy_regression(n=300, noise=0.5, seed=9)
