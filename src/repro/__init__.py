@@ -17,6 +17,20 @@ Quickstart::
     result = predictor.predict("memcached", OperatingPoint.relaxed(2.283, 50.0))
     print(result.memory_wer, result.pue)
 
+The prediction API is batch-first: ``predict`` is a thin wrapper over
+``predict_batch`` (arrays in, a frozen result batch out) and
+``predict_grid`` sweeps whole operating-point grids columnarly.  Fitted
+predictors persist to a versioned on-disk registry and serve behind a
+cached, request-batching facade::
+
+    from repro import ModelRegistry, PredictionService
+
+    registry = ModelRegistry("models/")
+    registry.save("wer", predictor)            # -> "v1"
+    with PredictionService(registry.load("wer")) as service:
+        response = service.predict("memcached", OperatingPoint.relaxed(2.283, 50.0))
+        print(response.memory_wer, service.stats().hit_rate)
+
 Every module logs under the ``repro.*`` logger hierarchy; the library
 installs only a ``NullHandler`` (standard library practice), so nothing
 is printed unless the application configures logging.  Runtime telemetry
@@ -49,6 +63,8 @@ from repro.core import (
     ConventionalErrorModel,
     DramErrorModel,
     ModelConfig,
+    PredictionBatch,
+    PredictionGrid,
     WorkloadAwarePredictor,
     build_pue_dataset,
     build_wer_dataset,
@@ -63,7 +79,16 @@ from repro.dram import (
     VariationProfile,
     WorkloadBehavior,
 )
+from repro.errors import RegistryError
 from repro.profiling import WorkloadProfiler, profile_workload
+from repro.serving import (
+    ModelRegistry,
+    PredictionService,
+    PredictRequest,
+    PredictResponse,
+    load_model,
+    save_model,
+)
 from repro.telemetry import (
     RunReport,
     Telemetry,
@@ -87,11 +112,20 @@ __all__ = [
     "ConventionalErrorModel",
     "DramErrorModel",
     "ModelConfig",
+    "PredictionBatch",
+    "PredictionGrid",
     "WorkloadAwarePredictor",
     "build_pue_dataset",
     "build_wer_dataset",
     "get_feature_set",
     "run_correlation_study",
+    "RegistryError",
+    "ModelRegistry",
+    "PredictionService",
+    "PredictRequest",
+    "PredictResponse",
+    "load_model",
+    "save_model",
     "CellArraySimulator",
     "OperatingPoint",
     "SecdedCode",

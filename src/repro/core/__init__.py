@@ -32,6 +32,8 @@ from repro.core.features import (
 )
 from repro.core.model import MODEL_FAMILIES, DramErrorModel, ModelConfig
 from repro.core.predictor import (
+    PredictionBatch,
+    PredictionGrid,
     PredictionResult,
     PredictorConfig,
     WorkloadAwarePredictor,
@@ -63,6 +65,8 @@ __all__ = [
     "MODEL_FAMILIES",
     "DramErrorModel",
     "ModelConfig",
+    "PredictionBatch",
+    "PredictionGrid",
     "PredictionResult",
     "PredictorConfig",
     "WorkloadAwarePredictor",

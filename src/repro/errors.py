@@ -34,3 +34,7 @@ class WorkloadError(ReproError):
 
 class CharacterizationError(ReproError):
     """A characterization experiment or campaign failed."""
+
+
+class RegistryError(ReproError):
+    """A model-registry bundle is missing, corrupted or unloadable."""

@@ -88,10 +88,14 @@ class RandomForestRegressor(Regressor):
         self._right_ = np.where(internal, right + offsets, -1)
 
     def predict(self, X: ArrayLike) -> np.ndarray:
-        self._check_fitted("estimators_")
+        # Prediction needs only the concatenated flat arrays, so a forest
+        # restored from the serving model registry (which persists the
+        # flat ensemble but not the per-tree _Node structures) predicts
+        # identically.
+        self._check_fitted("_roots_")
         X_arr = as_2d_array(X, allow_empty=True)
         n_rows = X_arr.shape[0]
-        n_trees = len(self.estimators_)
+        n_trees = self._roots_.shape[0]
         # One flat traversal state per (tree, row) pair: entry t*n_rows + i
         # walks tree t for query row i, all advancing one level per pass.
         node_ids = np.repeat(self._roots_, n_rows)

@@ -257,7 +257,10 @@ class DecisionTreeRegressor(Regressor):
         return self
 
     def predict(self, X: ArrayLike) -> np.ndarray:
-        self._check_fitted("root_")
+        # Prediction needs only the flat arrays, so a tree restored from
+        # the serving model registry (which persists the columnar layout
+        # but not the linked _Node structure) predicts identically.
+        self._check_fitted("feature_")
         X_arr = as_2d_array(X, allow_empty=True)
         if X_arr.shape[1] != self.n_features_:
             raise ValueError(

@@ -28,6 +28,11 @@ REDUCTIONS = {
         "campaign_workload_names": lambda: ("backprop", "kmeans", "bfs"),
     },
     "cell_array_ecc_demo": {},   # already sized for a demo (4096 words)
+    "prediction_service_demo": {
+        "WORKLOADS": ("backprop", "kmeans", "memcached", "bfs"),
+        "TREFPS": (1.173, 2.283),
+        "TEMPERATURES": (50.0, 60.0),
+    },
 }
 
 

@@ -131,6 +131,13 @@ class TestScoping:
         flagged = lint_source(source, "src/repro/core/config.py")
         assert {v.rule_id for v in flagged.violations} == {"REP006"}
 
+    def test_annotations_required_in_serving(self):
+        # The serving package ships typed request/response dataclasses;
+        # REP006 must keep covering it as it grows.
+        source = "def helper(x):\n    return x\n"
+        flagged = lint_source(source, "src/repro/serving/service.py")
+        assert {v.rule_id for v in flagged.violations} == {"REP006"}
+
     def test_syntax_error_is_reported_not_raised(self):
         result = lint_source("def broken(:\n", "src/repro/oops.py")
         assert result.errors and result.errors[0].path == "src/repro/oops.py"
